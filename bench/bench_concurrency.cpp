@@ -1,0 +1,48 @@
+// CPLX-MC — max-concurrency (Eq. 16) is an O(k log k) interval sweep
+// in the number of events k of one activity.
+#include <benchmark/benchmark.h>
+
+#include "dfg/concurrency.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace st;
+
+std::vector<dfg::Interval> random_intervals(std::size_t k, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<dfg::Interval> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const Micros start = static_cast<Micros>(rng.below(1'000'000));
+    out.push_back({start, start + static_cast<Micros>(rng.below(10'000))});
+  }
+  return out;
+}
+
+void BM_MaxConcurrency(benchmark::State& state) {
+  const auto intervals = random_intervals(static_cast<std::size_t>(state.range(0)), 42);
+  for (auto _ : state) {
+    auto copy = intervals;  // the sweep sorts in place
+    benchmark::DoNotOptimize(dfg::get_max_concurrency(std::move(copy)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MaxConcurrency)->Range(1 << 8, 1 << 18)->Complexity(benchmark::oNLogN);
+
+void BM_MaxConcurrency_AllOverlapping(benchmark::State& state) {
+  // Worst case for the heap: every interval stays open.
+  std::vector<dfg::Interval> intervals(static_cast<std::size_t>(state.range(0)),
+                                       dfg::Interval{0, 1'000'000});
+  for (auto _ : state) {
+    auto copy = intervals;
+    benchmark::DoNotOptimize(dfg::get_max_concurrency(std::move(copy)));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MaxConcurrency_AllOverlapping)->Range(1 << 8, 1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

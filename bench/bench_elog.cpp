@@ -1,0 +1,44 @@
+// OVH-PARSE (storage leg) — elog container write/read throughput.
+//
+// The paper stores processed traces in one HDF5 file; elog is our
+// stand-in. Events/second here bound how fast stored logs can be
+// (de)serialized relative to reparsing raw strace text.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "elog/store.hpp"
+#include "testdata.hpp"
+
+namespace {
+
+using namespace st;
+
+void BM_ElogWrite(benchmark::State& state) {
+  const auto log = bench::synthetic_log(6, 32, static_cast<std::size_t>(state.range(0)) / 32, 16);
+  for (auto _ : state) {
+    std::ostringstream out;
+    elog::write_event_log(out, log);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(log.total_events()));
+}
+BENCHMARK(BM_ElogWrite)->Range(1 << 10, 1 << 16);
+
+void BM_ElogRead(benchmark::State& state) {
+  const auto log = bench::synthetic_log(7, 32, static_cast<std::size_t>(state.range(0)) / 32, 16);
+  std::ostringstream out;
+  elog::write_event_log(out, log);
+  const std::string data = out.str();
+  for (auto _ : state) {
+    std::istringstream in(data);
+    benchmark::DoNotOptimize(elog::read_event_log(in));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(log.total_events()));
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_ElogRead)->Range(1 << 10, 1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

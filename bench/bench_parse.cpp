@@ -1,0 +1,89 @@
+// OVH-PARSE — strace parsing overhead (Sec. V "overheads").
+//
+// Measures line-level parse throughput, whole-trace reading with
+// unfinished/resumed merging, and the trace-writer round trip. The
+// read path should scale linearly in the line count.
+#include <benchmark/benchmark.h>
+
+#include "strace/parser.hpp"
+#include "strace/reader.hpp"
+#include "strace/writer.hpp"
+
+namespace {
+
+using namespace st;
+
+const std::string kReadLine =
+    "9054  08:55:54.153994 read(3</usr/lib/x86_64-linux-gnu/libselinux.so.1>, ..., 832) = "
+    "832 <0.000203>";
+const std::string kOpenatLine =
+    "42  10:00:00.000000 openat(AT_FDCWD, \"/p/scratch/ssf/test\", O_RDWR|O_CREAT, 0644) = 5 "
+    "<0.000150>";
+
+void BM_ParseLine_Read(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strace::parse_line(kReadLine));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParseLine_Read);
+
+void BM_ParseLine_Openat(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strace::parse_line(kOpenatLine));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParseLine_Openat);
+
+std::string make_trace_text(std::size_t lines, bool with_resume_pairs) {
+  std::string text;
+  text.reserve(lines * 100);
+  for (std::size_t i = 0; i < lines; ++i) {
+    const Micros t = static_cast<Micros>(i * 100);
+    if (with_resume_pairs && i % 2 == 0) {
+      text += "7  " + format_time_of_day(t) + " read(3</p/f>, <unfinished ...>\n";
+    } else if (with_resume_pairs) {
+      text += "7  " + format_time_of_day(t) + " <... read resumed> ..., 512) = 512 <0.000040>\n";
+    } else {
+      text += "7  " + format_time_of_day(t) + " read(3</p/f>, ..., 512) = 512 <0.000040>\n";
+    }
+  }
+  return text;
+}
+
+/// O(n) whole-trace read; the n sweep verifies linear scaling.
+void BM_ReadTraceText(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::string text = make_trace_text(n, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strace::read_trace_text(text));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ReadTraceText)->Range(1 << 8, 1 << 14)->Complexity(benchmark::oN);
+
+void BM_ReadTraceText_WithResumeMerging(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::string text = make_trace_text(n, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strace::read_trace_text(text));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ReadTraceText_WithResumeMerging)->Range(1 << 8, 1 << 14);
+
+void BM_WriteTrace(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto parsed = strace::read_trace_text(make_trace_text(n, false));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strace::format_trace(parsed.records));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_WriteTrace)->Range(1 << 8, 1 << 12);
+
+}  // namespace
+
+BENCHMARK_MAIN();

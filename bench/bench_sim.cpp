@@ -1,0 +1,86 @@
+// OVH-SIM — throughput of the simulation substrate itself: raw DES
+// event processing, resource queueing, and full IOR runs as a function
+// of rank count (the cost of regenerating the paper's experiments).
+#include <benchmark/benchmark.h>
+
+#include "des/resource.hpp"
+#include "des/simulator.hpp"
+#include "iosim/ior.hpp"
+
+namespace {
+
+using namespace st;
+
+void BM_DesDelayEvents(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    des::Simulator sim;
+    auto proc = [](des::Simulator& s, int steps) -> des::Proc<> {
+      for (int i = 0; i < steps; ++i) co_await s.delay(1);
+    };
+    for (int p = 0; p < 16; ++p) sim.spawn(proc(sim, n / 16));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DesDelayEvents)->Range(1 << 10, 1 << 16);
+
+void BM_DesResourceChurn(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    des::Simulator sim;
+    des::Resource res(sim, 4);
+    auto proc = [](des::Simulator& s, des::Resource& r, int rounds) -> des::Proc<> {
+      for (int i = 0; i < rounds; ++i) {
+        co_await r.acquire();
+        co_await s.delay(3);
+        r.release();
+      }
+    };
+    for (int p = 0; p < 32; ++p) sim.spawn(proc(sim, res, n / 32));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DesResourceChurn)->Range(1 << 10, 1 << 15);
+
+/// Full simulated IOR run (SSF, POSIX) scaling with the rank count;
+/// items processed = syscall records generated.
+void BM_IorRun(benchmark::State& state) {
+  iosim::IorOptions opt;
+  opt.num_ranks = static_cast<int>(state.range(0));
+  opt.ranks_per_node = std::max(1, opt.num_ranks / 2);
+  opt.transfer_size = 1 << 18;
+  opt.block_size = 1 << 20;
+  opt.segments = 2;
+  opt.test_file = "/p/scratch/ssf/test";
+  std::size_t records = 0;
+  for (auto _ : state) {
+    const auto traces = iosim::run_ior(opt);
+    records = 0;
+    for (const auto& t : traces.traces) records += t.records.size();
+    benchmark::DoNotOptimize(traces);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_IorRun)->Arg(4)->Arg(16)->Arg(48)->Arg(96);
+
+/// SMT mode: cost of the extra interleaving machinery.
+void BM_IorRunSmt(benchmark::State& state) {
+  iosim::IorOptions opt;
+  opt.num_ranks = 8;
+  opt.ranks_per_node = 4;
+  opt.threads_per_rank = static_cast<int>(state.range(0));
+  opt.transfer_size = 1 << 18;
+  opt.block_size = 1 << 20;
+  opt.segments = 2;
+  opt.test_file = "/p/scratch/ssf/test";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iosim::run_ior(opt));
+  }
+}
+BENCHMARK(BM_IorRunSmt)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// FIG3 — the DFG synthesis of the ls / ls -l event logs.
+//
+// Regenerates G[L(Ca)] (Fig. 3b), G[L(Cb)] (Fig. 3c) and G[L(Cx)]
+// (Fig. 3d). As in the paper, the activity statistics displayed in all
+// three graphs are computed over the combined log Cx. Fig. 3d applies
+// partition coloring: GREEN elements occur only in `ls`, RED only in
+// `ls -l`.
+#include <iostream>
+
+#include "dfg/builder.hpp"
+#include "dfg/render.hpp"
+#include "iosim/commands.hpp"
+
+int main() {
+  using namespace st;
+  const auto ca = iosim::make_ls_traces().to_event_log();
+  const auto cb = iosim::make_ls_l_traces().to_event_log();
+  const auto cx = model::EventLog::merge(ca, cb);
+
+  const auto f = model::Mapping::call_top_dirs(2);  // f-hat, Eq. 4
+  const auto g_ca = dfg::build_serial(ca, f);
+  const auto g_cb = dfg::build_serial(cb, f);
+  const auto g_cx = dfg::build_serial(cx, f);
+  // The paper annotates every variant of the figure with statistics
+  // computed over the union Cx (the Load/DR values repeat in 3b-3d).
+  const auto stats = dfg::IoStatistics::compute(cx, f);
+  const dfg::StatisticsColoring blue(stats);
+
+  std::cout << "=== Trace variants (activity-log multiset) ===\n";
+  for (const auto* log : {&ca, &cb}) {
+    const auto al = model::ActivityLog::build(*log, f);
+    for (const auto& [trace, mult] : al.variants()) {
+      std::cout << log->cases().front().id().cid << ": trace of " << trace.size()
+                << " activities with multiplicity " << mult << "\n";
+    }
+  }
+  std::cout << "\n=== Fig. 3b: G[L(Ca)] — ls ===\n"
+            << dfg::render_ascii(g_ca, &stats, &blue);
+  std::cout << "\n=== Fig. 3c: G[L(Cb)] — ls -l ===\n"
+            << dfg::render_ascii(g_cb, &stats, &blue, {.show_stats = true, .show_ranks = true});
+
+  const dfg::PartitionColoring partition(g_ca, g_cb);
+  std::cout << "\n=== Fig. 3d: G[L(Cx)] — partition coloring (GREEN=ls only, RED=ls -l only) "
+               "===\n"
+            << dfg::render_ascii(g_cx, &stats, &partition);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// FIG7 — the IOR experiment configuration.
+//
+// Prints the file layout of Fig. 7a (segments x blocks x transfers)
+// and the exact command lines of Fig. 7b for the SSF and FPP runs.
+#include <iostream>
+
+#include "iosim/campaign.hpp"
+
+int main() {
+  using namespace st;
+  iosim::CampaignScale scale;  // the paper's scale: 96 ranks, -t 1m -b 16m -s 3
+
+  const auto ssf = iosim::make_ssf_options(scale);
+  std::cout << "=== Fig. 7a: the format of the IOR file ===\n";
+  std::cout << "segments: " << ssf.segments << ", block: " << (ssf.block_size >> 20)
+            << " MiB, transfer: " << (ssf.transfer_size >> 20) << " MiB ("
+            << ssf.transfers_per_block() << " transfers per block)\n";
+  std::cout << "SSF file layout (one shared file):\n";
+  for (int seg = 0; seg < ssf.segments; ++seg) {
+    std::cout << "  segment " << seg + 1 << ": ";
+    std::cout << "[rank0: " << ssf.transfers_per_block() << " x "
+              << (ssf.transfer_size >> 20) << "m][rank1: ...]...[rank" << ssf.num_ranks - 1
+              << "]\n";
+  }
+  std::cout << "FPP file layout: test.00000000 ... test."
+            << ssf.num_ranks - 1 << " (each rank its own file)\n\n";
+
+  std::cout << "=== Fig. 7b: IOR commands ===\n";
+  std::cout << "#Single Shared File\n" << iosim::make_ssf_options(scale).command_line() << "\n";
+  std::cout << "#One File per Process\n" << iosim::make_fpp_options(scale).command_line()
+            << "\n";
+  return 0;
+}

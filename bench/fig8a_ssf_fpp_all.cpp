@@ -1,0 +1,28 @@
+// FIG8a — DFG synthesis applied to ALL events of the SSF + FPP runs.
+//
+// 96 ranks per run across 2 nodes (the paper's scale), POSIX API,
+// mapping f-bar = call + site-abstracted path, statistics coloring by
+// relative duration. The expected shape: openat/write under $SCRATCH
+// carry by far the highest Load.
+#include <iostream>
+
+#include "dfg/builder.hpp"
+#include "dfg/render.hpp"
+#include "iosim/campaign.hpp"
+
+int main(int argc, char** argv) {
+  using namespace st;
+  iosim::CampaignScale scale;
+  if (argc > 1) scale.num_ranks = std::atoi(argv[1]);  // optional override
+
+  const auto log = iosim::ssf_fpp_campaign(scale);
+  const auto f = model::Mapping::call_site(model::SitePathMap::juwels_like(), 0);
+  const auto g = dfg::build_serial(log, f);
+  const auto stats = dfg::IoStatistics::compute(log, f);
+  const dfg::StatisticsColoring blue(stats);
+
+  std::cout << "=== Fig. 8a: G[L(CX)] over all events of SSF+FPP (" << log.case_count()
+            << " cases, " << log.total_events() << " events) ===\n"
+            << dfg::render_ascii(g, &stats, &blue);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Synthetic event-log generators shared by the scaling benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/event_log.hpp"
+#include "support/rng.hpp"
+
+namespace st::bench {
+
+/// `cases` cases of `events_per_case` events over `distinct_paths`
+/// file paths (which bounds the activity count m of the DFG).
+inline model::EventLog synthetic_log(std::uint64_t seed, std::size_t cases,
+                                     std::size_t events_per_case, std::size_t distinct_paths) {
+  Xoshiro256 rng(seed);
+  const std::vector<std::string> calls = {"read", "write", "openat", "lseek"};
+  std::vector<std::string> paths;
+  paths.reserve(distinct_paths);
+  for (std::size_t i = 0; i < distinct_paths; ++i) {
+    paths.push_back("/data/dir" + std::to_string(i) + "/file" + std::to_string(i));
+  }
+  model::EventLog log;
+  for (std::size_t c = 0; c < cases; ++c) {
+    std::vector<model::Event> events;
+    events.reserve(events_per_case);
+    Micros t = 0;
+    for (std::size_t i = 0; i < events_per_case; ++i) {
+      model::Event e;
+      e.cid = "bench";
+      e.host = "node1";
+      e.rid = c + 1;
+      e.pid = c + 100;
+      e.call = calls[rng.below(calls.size())];
+      e.fp = paths[rng.below(paths.size())];
+      e.start = t;
+      e.dur = static_cast<Micros>(1 + rng.below(200));
+      e.size = (e.call == "read" || e.call == "write")
+                   ? static_cast<std::int64_t>(rng.below(1 << 20))
+                   : -1;
+      t += static_cast<Micros>(1 + rng.below(50));
+      events.push_back(std::move(e));
+    }
+    log.add_case(model::Case(model::CaseId{"bench", "node1", c + 1}, std::move(events)));
+  }
+  return log;
+}
+
+}  // namespace st::bench

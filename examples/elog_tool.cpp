@@ -1,0 +1,85 @@
+// elog_tool: inspect, filter and merge elog containers.
+//
+//   ./elog_tool info run.elog                      # case inventory
+//   ./elog_tool merge out.elog a.elog b.elog       # union of logs
+//   ./elog_tool filter out.elog in.elog --fp /p/scratch --calls read,write
+//   ./elog_tool export in.elog --map site1         # stats CSV to stdout
+#include <iostream>
+
+#include "dfg/export.hpp"
+#include "dfg/stats.hpp"
+#include "elog/store.hpp"
+#include "model/case_stats.hpp"
+#include "model/query.hpp"
+#include "support/cli.hpp"
+#include "support/errors.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+st::model::Mapping mapping_for(const std::string& name) {
+  using st::model::Mapping;
+  using st::model::SitePathMap;
+  if (name == "top2") return Mapping::call_top_dirs(2);
+  if (name == "last2") return Mapping::call_last_components(2);
+  if (name == "call") return Mapping::call_only();
+  if (name == "site") return Mapping::call_site(SitePathMap::juwels_like(), 0);
+  if (name == "site1") return Mapping::call_site(SitePathMap::juwels_like(), 1);
+  throw st::ParseError("unknown --map: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace st;
+  CliParser cli;
+  cli.add_flag("fp", "filter: keep events whose path contains this", std::nullopt);
+  cli.add_flag("calls", "filter: comma-separated call families", std::nullopt);
+  cli.add_flag("map", "mapping for export: top2|last2|call|site|site1", "site");
+  try {
+    cli.parse(argc, argv);
+    const auto& args = cli.positional();
+    if (args.empty()) throw ParseError("usage: elog_tool info|merge|filter|export ...");
+    const std::string& command = args[0];
+
+    if (command == "info") {
+      if (args.size() != 2) throw ParseError("info takes one elog file");
+      const auto log = elog::read_event_log_file(args[1]);
+      std::cout << args[1] << ": " << log.case_count() << " cases, " << log.total_events()
+                << " events\n\n"
+                << model::render_case_summaries(model::summarize_cases(log));
+    } else if (command == "merge") {
+      if (args.size() < 4) throw ParseError("merge takes an output and >= 2 inputs");
+      model::EventLog merged;
+      for (std::size_t i = 2; i < args.size(); ++i) {
+        merged = model::EventLog::merge(merged, elog::read_event_log_file(args[i]));
+      }
+      elog::write_event_log_file(args[1], merged);
+      std::cout << "wrote " << merged.case_count() << " cases to " << args[1] << "\n";
+    } else if (command == "filter") {
+      if (args.size() != 3) throw ParseError("filter takes an output and one input");
+      model::Query query;
+      if (cli.has("fp")) query = query.fp_contains(cli.get("fp"));
+      if (cli.has("calls")) {
+        std::vector<std::string> families;
+        for (const auto part : split(cli.get("calls"), ',')) families.emplace_back(part);
+        query = query.calls(std::move(families));
+      }
+      const auto filtered = query.apply(elog::read_event_log_file(args[2]));
+      elog::write_event_log_file(args[1], filtered);
+      std::cout << "query [" << query.describe() << "] kept " << filtered.total_events()
+                << " events; wrote " << args[1] << "\n";
+    } else if (command == "export") {
+      if (args.size() != 2) throw ParseError("export takes one elog file");
+      const auto log = elog::read_event_log_file(args[1]);
+      const auto f = mapping_for(cli.get("map"));
+      std::cout << dfg::stats_to_csv(dfg::IoStatistics::compute(log, f));
+    } else {
+      throw ParseError("unknown command: " + command);
+    }
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << cli.usage("elog_tool");
+    return 1;
+  }
+  return 0;
+}

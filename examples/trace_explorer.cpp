@@ -1,0 +1,130 @@
+// trace_explorer: the "DFG as an interactive query" workflow from the
+// paper, as a CLI. Load trace files (cid_host_rid.st) or an .elog
+// container, apply a file-path filter and a mapping, and inspect the
+// resulting DFG, statistics, trace variants or an activity timeline.
+//
+//   ./trace_explorer a_host1_9042.st b_host1_9157.st \
+//       --filter /usr/lib --map last2 --render dot
+//   ./trace_explorer run.elog --map site1 --timeline "read\n$SCRATCH/ssf"
+//
+// With no positional arguments it demos on the built-in ls / ls -l
+// traces of Fig. 2.
+#include <iostream>
+
+#include "dfg/builder.hpp"
+#include "dfg/render.hpp"
+#include "dfg/render_svg.hpp"
+#include "elog/store.hpp"
+#include "iosim/commands.hpp"
+#include "model/case_stats.hpp"
+#include "model/from_strace.hpp"
+#include "report/report.hpp"
+#include "support/cli.hpp"
+#include "support/errors.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+st::model::Mapping make_mapping(const std::string& name) {
+  using st::model::Mapping;
+  using st::model::SitePathMap;
+  if (name == "top2") return Mapping::call_top_dirs(2);
+  if (name == "top1") return Mapping::call_top_dirs(1);
+  if (name == "last2") return Mapping::call_last_components(2);
+  if (name == "last1") return Mapping::call_last_components(1);
+  if (name == "call") return Mapping::call_only();
+  if (name == "site") return Mapping::call_site(SitePathMap::juwels_like(), 0);
+  if (name == "site1") return Mapping::call_site(SitePathMap::juwels_like(), 1);
+  throw st::ParseError("unknown --map (use top1|top2|last1|last2|call|site|site1): " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace st;
+  CliParser cli;
+  cli.add_flag("filter", "keep only events whose path contains this substring", std::nullopt);
+  cli.add_flag("map", "activity mapping: top1|top2|last1|last2|call|site|site1", "top2");
+  cli.add_flag("render", "output form: ascii|dot|svg|report|variants|stats|summary", "ascii");
+  cli.add_flag("timeline", "print the timeline of this activity (use \\n between call and path)",
+               std::nullopt);
+  cli.add_flag("ranks", "annotate nodes with distinct rank counts", std::nullopt, true);
+  try {
+    cli.parse(argc, argv);
+
+    // -- load --------------------------------------------------------
+    model::EventLog log;
+    if (cli.positional().empty()) {
+      std::cerr << "(no inputs; demoing on the built-in ls / ls -l traces)\n";
+      log = model::EventLog::merge(iosim::make_ls_traces().to_event_log(),
+                                   iosim::make_ls_l_traces().to_event_log());
+    } else if (cli.positional().size() == 1 && cli.positional()[0].ends_with(".elog")) {
+      log = elog::read_event_log_file(cli.positional()[0]);
+    } else {
+      log = model::event_log_from_files(cli.positional());
+    }
+    if (cli.has("filter")) log = log.filter_fp(cli.get("filter"));
+
+    // -- analyze -----------------------------------------------------
+    const auto f = make_mapping(cli.get("map"));
+    const auto g = dfg::build_serial(log, f);
+    const auto stats = dfg::IoStatistics::compute(log, f);
+
+    if (cli.has("timeline")) {
+      // Allow the literal two-character sequence "\n" on the command line.
+      std::string activity = cli.get("timeline");
+      if (const auto pos = activity.find("\\n"); pos != std::string::npos) {
+        activity.replace(pos, 2, "\n");
+      }
+      std::cout << dfg::render_timeline(dfg::IoStatistics::timeline(log, f, activity));
+      return 0;
+    }
+
+    const std::string render = cli.get("render");
+    dfg::RenderOptions opts;
+    opts.show_ranks = cli.get_bool("ranks");
+    const dfg::StatisticsColoring styler(stats);
+    if (render == "dot") {
+      std::cout << dfg::render_dot(g, &stats, &styler, opts);
+    } else if (render == "svg") {
+      std::cout << dfg::render_svg(g, &stats, &styler);
+    } else if (render == "report") {
+      report::ReportOptions report_opts;
+      report_opts.title = "trace_explorer report";
+      report_opts.description = "query: " + (cli.has("filter") ? cli.get("filter") : "all") +
+                                ", mapping: " + f.name();
+      std::cout << report::build_report(log, f, &styler, report_opts);
+    } else if (render == "summary") {
+      std::cout << model::render_case_summaries(model::summarize_cases(log));
+    } else if (render == "ascii") {
+      std::cout << dfg::render_ascii(g, &stats, &styler, opts);
+    } else if (render == "variants") {
+      const auto al = model::ActivityLog::build(log, f);
+      for (const auto& [trace, mult] : al.variants()) {
+        std::cout << "x" << mult << ": <";
+        bool first = true;
+        for (const auto& a : trace) {
+          std::string flat = a;
+          std::replace(flat.begin(), flat.end(), '\n', ' ');
+          std::cout << (first ? "" : ", ") << flat;
+          first = false;
+        }
+        std::cout << ">\n";
+      }
+    } else if (render == "stats") {
+      for (const auto& [a, s] : stats.per_activity()) {
+        std::string flat = a;
+        std::replace(flat.begin(), flat.end(), '\n', ' ');
+        std::cout << flat << " | " << s.load_label();
+        if (const auto dr = s.dr_label(); !dr.empty()) std::cout << " | " << dr;
+        std::cout << " | events: " << s.event_count << " | ranks: " << s.rank_count << "\n";
+      }
+    } else {
+      throw ParseError("unknown --render: " + render);
+    }
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << cli.usage("trace_explorer");
+    return 1;
+  }
+  return 0;
+}

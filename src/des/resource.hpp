@@ -1,0 +1,149 @@
+// Contended resources for the DES: FCFS token pools and barriers.
+//
+// Resource models anything with finite service slots — a GPFS metadata
+// server, the exclusive write-lock token of an inode, a shared
+// interconnect. Waiting in the FCFS queue is how contention manifests:
+// the time between acquire() being awaited and granted is wait time
+// that the I/O simulator accounts into syscall durations, which is
+// exactly the effect the paper observes on SSF openat/write calls.
+//
+// Barrier provides MPI_Barrier-like synchronization for the rank
+// processes of the IOR workload.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "des/simulator.hpp"
+
+namespace st::des {
+
+class Resource {
+ public:
+  Resource(Simulator& sim, std::size_t capacity) : sim_(sim), tokens_(capacity) {}
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  /// Awaitable FCFS acquisition of one token.
+  [[nodiscard]] auto acquire() {
+    struct Awaiter {
+      Resource& r;
+      [[nodiscard]] bool await_ready() const {
+        if (r.tokens_ > 0) {
+          --r.tokens_;
+          ++r.in_use_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) { r.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  /// Returns one token; the longest-waiting acquirer (if any) resumes
+  /// at the current virtual time.
+  void release() {
+    if (!waiters_.empty()) {
+      const auto h = waiters_.front();
+      waiters_.pop_front();
+      // Token passes directly to the waiter; in_use_ stays constant.
+      sim_.schedule(h, sim_.now());
+    } else {
+      ++tokens_;
+      --in_use_;
+    }
+  }
+
+  [[nodiscard]] std::size_t queue_length() const { return waiters_.size(); }
+  [[nodiscard]] std::size_t in_use() const { return in_use_; }
+
+ private:
+  Simulator& sim_;
+  std::size_t tokens_;
+  std::size_t in_use_ = 0;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Cyclic barrier over `n` participants.
+class Barrier {
+ public:
+  Barrier(Simulator& sim, std::size_t n) : sim_(sim), n_(n) {}
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Awaitable: suspends until all n participants arrived; the last
+  /// arrival releases everyone at the current virtual time.
+  [[nodiscard]] auto arrive() {
+    struct Awaiter {
+      Barrier& b;
+      [[nodiscard]] bool await_ready() const {
+        if (b.arrived_ + 1 == b.n_) {
+          // Last participant: release the generation.
+          for (const auto h : b.waiting_) b.sim_.schedule(h, b.sim_.now());
+          b.waiting_.clear();
+          b.arrived_ = 0;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        ++b.arrived_;
+        b.waiting_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  [[nodiscard]] std::size_t waiting() const { return waiting_.size(); }
+
+ private:
+  Simulator& sim_;
+  std::size_t n_;
+  std::size_t arrived_ = 0;
+  std::vector<std::coroutine_handle<>> waiting_;
+};
+
+/// Completion counter for fork/join structure: add() before spawning a
+/// child process, done() when it finishes, co_await wait() to join.
+class WaitGroup {
+ public:
+  explicit WaitGroup(Simulator& sim) : sim_(sim) {}
+  WaitGroup(const WaitGroup&) = delete;
+  WaitGroup& operator=(const WaitGroup&) = delete;
+
+  void add(std::size_t n = 1) { count_ += n; }
+
+  void done() {
+    if (count_ == 0) throw LogicError("WaitGroup::done without matching add");
+    if (--count_ == 0) {
+      for (const auto h : waiters_) sim_.schedule(h, sim_.now());
+      waiters_.clear();
+    }
+  }
+
+  /// Awaitable: resumes when the count reaches zero (immediately if it
+  /// already is).
+  [[nodiscard]] auto wait() {
+    struct Awaiter {
+      WaitGroup& wg;
+      [[nodiscard]] bool await_ready() const { return wg.count_ == 0; }
+      void await_suspend(std::coroutine_handle<> h) { wg.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  [[nodiscard]] std::size_t pending() const { return count_; }
+
+ private:
+  Simulator& sim_;
+  std::size_t count_ = 0;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace st::des

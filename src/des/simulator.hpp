@@ -1,0 +1,239 @@
+// Deterministic discrete-event simulator (DES) built on C++20
+// coroutines.
+//
+// Simulated processes are coroutines returning Proc<T>; they advance
+// virtual time by co_awaiting:
+//
+//   co_await sim.delay(microseconds);   // hold for simulated time
+//   co_await resource.acquire();        // FCFS queueing (contention!)
+//   co_await barrier.arrive();          // MPI-style synchronization
+//   T v = co_await sub_process(...);    // structured sub-calls
+//
+// Determinism: the ready queue orders by (time, insertion sequence), so
+// two runs of the same program produce identical schedules; no wall
+// clock, no thread scheduling involved. This is the substrate on which
+// the IOR workload and its contention behaviour (paper Sec. V) are
+// simulated.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "support/errors.hpp"
+
+namespace st::des {
+
+using SimTime = std::int64_t;  ///< virtual microseconds
+
+class Simulator;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation{};
+  std::exception_ptr exception{};
+
+  struct FinalAwaiter {
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    template <class Promise>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+};
+
+}  // namespace detail
+
+/// A simulated (sub-)process. Lazily started: top-level Procs are
+/// started by Simulator::spawn, nested ones by co_await.
+template <class T = void>
+class [[nodiscard]] Proc {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value{};
+
+    Proc get_return_object() {
+      return Proc{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    [[nodiscard]] std::suspend_always initial_suspend() noexcept { return {}; }
+    [[nodiscard]] FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_value(T v) { value = std::move(v); }
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Proc() = default;
+  explicit Proc(Handle h) : handle_(h) {}
+  Proc(Proc&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Proc& operator=(Proc&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Proc(const Proc&) = delete;
+  Proc& operator=(const Proc&) = delete;
+  ~Proc() { destroy(); }
+
+  // Awaitable protocol: co_awaiting a Proc starts it and resumes the
+  // parent when it finishes (symmetric transfer, no stack growth).
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+    handle_.promise().continuation = parent;
+    return handle_;
+  }
+  T await_resume() {
+    if (handle_.promise().exception) std::rethrow_exception(handle_.promise().exception);
+    return std::move(*handle_.promise().value);
+  }
+
+  [[nodiscard]] Handle handle() const { return handle_; }
+  [[nodiscard]] bool done() const { return handle_ && handle_.done(); }
+  [[nodiscard]] std::exception_ptr exception() const {
+    return handle_ ? handle_.promise().exception : nullptr;
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  Handle handle_{};
+};
+
+template <>
+class [[nodiscard]] Proc<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Proc get_return_object() {
+      return Proc{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    [[nodiscard]] std::suspend_always initial_suspend() noexcept { return {}; }
+    [[nodiscard]] FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Proc() = default;
+  explicit Proc(Handle h) : handle_(h) {}
+  Proc(Proc&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Proc& operator=(Proc&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Proc(const Proc&) = delete;
+  Proc& operator=(const Proc&) = delete;
+  ~Proc() { destroy(); }
+
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+    handle_.promise().continuation = parent;
+    return handle_;
+  }
+  void await_resume() {
+    if (handle_.promise().exception) std::rethrow_exception(handle_.promise().exception);
+  }
+
+  [[nodiscard]] Handle handle() const { return handle_; }
+  [[nodiscard]] bool done() const { return handle_ && handle_.done(); }
+  [[nodiscard]] std::exception_ptr exception() const {
+    return handle_ ? handle_.promise().exception : nullptr;
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  Handle handle_{};
+};
+
+/// The event loop: a stable (time, sequence) priority queue of
+/// coroutine resumptions.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Registers a top-level process; it starts when run() reaches the
+  /// current virtual time.
+  void spawn(Proc<void> p) {
+    schedule(p.handle(), now_);
+    roots_.push_back(std::move(p));
+  }
+
+  /// Schedules `h` to resume at virtual time `at` (>= now).
+  void schedule(std::coroutine_handle<> h, SimTime at) {
+    if (at < now_) throw LogicError("DES: scheduling into the past");
+    queue_.push(Entry{at, next_seq_++, h});
+  }
+
+  /// Runs until the event queue drains. Returns the final time.
+  /// An exception escaping a top-level process is captured in its
+  /// frame and rethrown here after the queue drains.
+  SimTime run() {
+    while (!queue_.empty()) {
+      const Entry e = queue_.top();
+      queue_.pop();
+      now_ = e.at;
+      e.handle.resume();
+    }
+    for (const auto& root : roots_) {
+      if (const auto exc = root.exception()) std::rethrow_exception(exc);
+    }
+    return now_;
+  }
+
+  /// Awaitable: resume after `d` virtual microseconds.
+  [[nodiscard]] auto delay(SimTime d) {
+    struct Awaiter {
+      Simulator& sim;
+      SimTime d;
+      [[nodiscard]] bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) const { sim.schedule(h, sim.now() + d); }
+      void await_resume() const noexcept {}
+    };
+    if (d < 0) d = 0;
+    return Awaiter{*this, d};
+  }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+
+    bool operator>(const Entry& other) const {
+      return at > other.at || (at == other.at && seq > other.seq);
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::vector<Proc<void>> roots_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace st::des

@@ -1,0 +1,41 @@
+#include "dfg/builder.hpp"
+
+#include "parallel/algorithms.hpp"
+
+namespace st::dfg {
+
+namespace {
+
+void add_case_trace(Dfg& g, const model::Case& c, const model::Mapping& f) {
+  model::ActivityTrace trace;
+  trace.reserve(c.size());
+  for (const model::Event& e : c.events()) {
+    if (auto a = f(e)) trace.push_back(std::move(*a));
+  }
+  g.add_trace(trace, 1);
+}
+
+}  // namespace
+
+Dfg build_serial(const model::EventLog& log, const model::Mapping& f) {
+  Dfg g;
+  for (const model::Case& c : log.cases()) add_case_trace(g, c, f);
+  return g;
+}
+
+Dfg build_parallel(const model::EventLog& log, const model::Mapping& f, ThreadPool& pool) {
+  const auto cases = log.cases();
+  return map_reduce(
+      pool, cases.size(), Dfg{},
+      [&](std::size_t lo, std::size_t hi) {
+        Dfg partial;
+        for (std::size_t i = lo; i < hi; ++i) add_case_trace(partial, cases[i], f);
+        return partial;
+      },
+      [](Dfg acc, const Dfg& part) {
+        acc.merge(part);
+        return acc;
+      });
+}
+
+}  // namespace st::dfg

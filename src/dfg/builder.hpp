@@ -1,0 +1,26 @@
+// DFG construction directly from an event log and a mapping.
+//
+// build_serial is the single-pass O(n) construction of Sec. V step 3;
+// build_parallel splits the cases over a thread pool and merges the
+// per-chunk partial graphs (the scalable construction of refs
+// [24][25]). Both produce identical graphs — a property the test suite
+// asserts over randomized logs.
+#pragma once
+
+#include <cstddef>
+
+#include "dfg/dfg.hpp"
+#include "model/event_log.hpp"
+#include "model/mapping.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace st::dfg {
+
+/// One pass over the cases; no intermediate ActivityLog materialized.
+[[nodiscard]] Dfg build_serial(const model::EventLog& log, const model::Mapping& f);
+
+/// Map-reduce over case chunks on `pool`.
+[[nodiscard]] Dfg build_parallel(const model::EventLog& log, const model::Mapping& f,
+                                 ThreadPool& pool);
+
+}  // namespace st::dfg

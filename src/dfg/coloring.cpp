@@ -1,0 +1,69 @@
+#include "dfg/coloring.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+
+#include "support/si.hpp"
+
+namespace st::dfg {
+
+StatisticsColoring::StatisticsColoring(const IoStatistics& stats)
+    : stats_(stats), max_rel_dur_(0.0) {
+  for (const auto& [activity, stat] : stats.per_activity()) {
+    max_rel_dur_ = std::max(max_rel_dur_, stat.rel_dur);
+  }
+}
+
+NodeStyle StatisticsColoring::node_style(const Activity& a) const {
+  const ActivityStat* stat = stats_.find(a);
+  if (stat == nullptr || max_rel_dur_ <= 0.0) return {};
+  // Interpolate white (weight 0) -> steel blue (weight 1) in RGB.
+  const double w = std::clamp(stat->rel_dur / max_rel_dur_, 0.0, 1.0);
+  const auto channel = [w](int light, int dark) {
+    return static_cast<int>(static_cast<double>(light) +
+                            w * static_cast<double>(dark - light));
+  };
+  const int r = channel(0xFF, 0x1F);
+  const int g = channel(0xFF, 0x77);
+  const int b = channel(0xFF, 0xB4);
+  std::array<char, 16> hex{};
+  std::snprintf(hex.data(), hex.size(), "#%02X%02X%02X", r, g, b);
+  NodeStyle style;
+  style.fill = hex.data();
+  style.fontcolor = w > 0.6 ? "white" : "black";
+  style.tag = "load=" + format_ratio(stat->rel_dur);
+  return style;
+}
+
+std::string StatisticsColoring::edge_color(const Activity& from, const Activity& to) const {
+  (void)from;
+  (void)to;
+  return {};
+}
+
+NodeStyle PartitionColoring::node_style(const Activity& a) const {
+  switch (diff_.classify_node(a)) {
+    case PartitionClass::GreenOnly:
+      return NodeStyle{"#C8E6C9", "black", "GREEN"};
+    case PartitionClass::RedOnly:
+      return NodeStyle{"#FFCDD2", "black", "RED"};
+    case PartitionClass::Common:
+      return {};
+  }
+  return {};
+}
+
+std::string PartitionColoring::edge_color(const Activity& from, const Activity& to) const {
+  switch (diff_.classify_edge(from, to)) {
+    case PartitionClass::GreenOnly:
+      return "green";
+    case PartitionClass::RedOnly:
+      return "red";
+    case PartitionClass::Common:
+      return {};
+  }
+  return {};
+}
+
+}  // namespace st::dfg

@@ -1,0 +1,25 @@
+#include "dfg/concurrency.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace st::dfg {
+
+std::size_t get_max_concurrency(std::vector<Interval> intervals) {
+  std::sort(intervals.begin(), intervals.end(), [](const Interval& a, const Interval& b) {
+    return a.start < b.start || (a.start == b.start && a.end < b.end);
+  });
+  std::priority_queue<Micros, std::vector<Micros>, std::greater<>> open_ends;
+  std::size_t best = 0;
+  for (const Interval& iv : intervals) {
+    // Close every interval whose end is not strictly after this start.
+    while (!open_ends.empty() && open_ends.top() <= iv.start) open_ends.pop();
+    if (iv.end > iv.start) {
+      open_ends.push(iv.end);
+      best = std::max(best, open_ends.size());
+    }
+  }
+  return best;
+}
+
+}  // namespace st::dfg

@@ -1,0 +1,36 @@
+// Max-concurrency (paper Eq. 14–16) and timeline intervals (Fig. 5).
+//
+// Each event contributes the half-open-ish interval
+// t(e) = (start, start + dur). get_max_concurrency sorts by start and
+// sweeps with a min-heap of end times; two events are concurrent when
+// the earlier one's end is strictly greater than the later one's start
+// ("the end time of the first event is greater than the start time of
+// the last event").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/event.hpp"
+
+namespace st::dfg {
+
+struct Interval {
+  Micros start = 0;
+  Micros end = 0;
+
+  [[nodiscard]] bool operator==(const Interval&) const = default;
+};
+
+/// Highest number of simultaneously open intervals. Zero-length
+/// intervals never overlap anything. O(k log k).
+[[nodiscard]] std::size_t get_max_concurrency(std::vector<Interval> intervals);
+
+/// Interval of one event plus its owning case — the rows of the
+/// timeline plot.
+struct TimelineEntry {
+  model::CaseId case_id;
+  Interval interval;
+};
+
+}  // namespace st::dfg

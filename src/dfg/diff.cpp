@@ -1,0 +1,33 @@
+#include "dfg/diff.hpp"
+
+namespace st::dfg {
+
+GraphDiff::GraphDiff(const Dfg& green, const Dfg& red) {
+  for (const auto& [node, count] : green.nodes()) {
+    (red.has_node(node) ? common_nodes_ : green_nodes_).insert(node);
+  }
+  for (const auto& [node, count] : red.nodes()) {
+    if (!green.has_node(node)) red_nodes_.insert(node);
+  }
+  for (const auto& [edge, count] : green.edges()) {
+    (red.has_edge(edge.first, edge.second) ? common_edges_ : green_edges_).insert(edge);
+  }
+  for (const auto& [edge, count] : red.edges()) {
+    if (!green.has_edge(edge.first, edge.second)) red_edges_.insert(edge);
+  }
+}
+
+PartitionClass GraphDiff::classify_node(const Activity& a) const {
+  if (green_nodes_.contains(a)) return PartitionClass::GreenOnly;
+  if (red_nodes_.contains(a)) return PartitionClass::RedOnly;
+  return PartitionClass::Common;
+}
+
+PartitionClass GraphDiff::classify_edge(const Activity& from, const Activity& to) const {
+  const Edge e{from, to};
+  if (green_edges_.contains(e)) return PartitionClass::GreenOnly;
+  if (red_edges_.contains(e)) return PartitionClass::RedOnly;
+  return PartitionClass::Common;
+}
+
+}  // namespace st::dfg

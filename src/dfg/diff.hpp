@@ -1,0 +1,47 @@
+// Structured graph comparison underlying partition-based coloring
+// (paper Sec. IV-C).
+//
+// Given the DFGs of two mutually exclusive event-log subsets G and R,
+// every node/edge of the combined graph falls into one of three
+// classes: exclusive to G (green), exclusive to R (red), or common.
+// GraphDiff exposes the partition as data so tests and tools can assert
+// on it; PartitionColoring (coloring.hpp) turns it into styles.
+#pragma once
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "dfg/dfg.hpp"
+
+namespace st::dfg {
+
+enum class PartitionClass { Common, GreenOnly, RedOnly };
+
+class GraphDiff {
+ public:
+  /// `green` and `red` are the DFGs of the two event-log subsets.
+  GraphDiff(const Dfg& green, const Dfg& red);
+
+  [[nodiscard]] PartitionClass classify_node(const Activity& a) const;
+  [[nodiscard]] PartitionClass classify_edge(const Activity& from, const Activity& to) const;
+
+  [[nodiscard]] const std::set<Activity>& green_nodes() const { return green_nodes_; }
+  [[nodiscard]] const std::set<Activity>& red_nodes() const { return red_nodes_; }
+  [[nodiscard]] const std::set<Activity>& common_nodes() const { return common_nodes_; }
+
+  using Edge = std::pair<Activity, Activity>;
+  [[nodiscard]] const std::set<Edge>& green_edges() const { return green_edges_; }
+  [[nodiscard]] const std::set<Edge>& red_edges() const { return red_edges_; }
+  [[nodiscard]] const std::set<Edge>& common_edges() const { return common_edges_; }
+
+ private:
+  std::set<Activity> green_nodes_;
+  std::set<Activity> red_nodes_;
+  std::set<Activity> common_nodes_;
+  std::set<Edge> green_edges_;
+  std::set<Edge> red_edges_;
+  std::set<Edge> common_edges_;
+};
+
+}  // namespace st::dfg

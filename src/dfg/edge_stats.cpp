@@ -1,0 +1,52 @@
+#include "dfg/edge_stats.hpp"
+
+#include <algorithm>
+#include <optional>
+
+namespace st::dfg {
+
+EdgeStatistics EdgeStatistics::compute(const model::EventLog& log, const model::Mapping& f) {
+  EdgeStatistics out;
+  for (const model::Case& c : log.cases()) {
+    std::optional<model::Activity> prev_activity;
+    Micros prev_end = 0;
+    for (const model::Event& e : c.events()) {
+      const auto activity = f(e);
+      if (!activity) continue;  // partial mapping: unmapped events break no edges
+      if (prev_activity) {
+        EdgeStat& stat = out.stats_[{*prev_activity, *activity}];
+        ++stat.count;
+        const Micros gap = e.start - prev_end;
+        if (gap >= 0) {
+          stat.total_gap += gap;
+          stat.max_gap = std::max(stat.max_gap, gap);
+        } else {
+          ++stat.overlapped;
+        }
+      }
+      prev_activity = std::move(*activity);
+      prev_end = e.end();
+    }
+  }
+  return out;
+}
+
+const EdgeStat* EdgeStatistics::find(const model::Activity& from,
+                                     const model::Activity& to) const {
+  const auto it = stats_.find({from, to});
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+const EdgeStatistics::Edge* EdgeStatistics::slowest_edge() const {
+  const Edge* best = nullptr;
+  double best_gap = -1.0;
+  for (const auto& [edge, stat] : stats_) {
+    if (stat.mean_gap() > best_gap) {
+      best_gap = stat.mean_gap();
+      best = &edge;
+    }
+  }
+  return best;
+}
+
+}  // namespace st::dfg

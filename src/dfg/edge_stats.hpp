@@ -1,0 +1,57 @@
+// Edge-level statistics — an extension beyond the paper (DESIGN.md §5).
+//
+// The DFG's edges carry frequencies; this module adds *gap timing*: for
+// every directly-follows pair (a1, a2) observed within a case, the gap
+// is the time between the end of the a1 event and the start of the a2
+// event. Long gaps on an edge reveal think-time or synchronization
+// stalls between I/O phases that node statistics cannot show (e.g. the
+// barrier wait between the write and read phases of IOR appears as a
+// large write->openat gap).
+//
+// Negative gaps are possible in SMT cases (the next event may start
+// before the previous returns) and are clamped into the `overlapped`
+// counter instead of polluting the mean.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "model/event_log.hpp"
+#include "model/mapping.hpp"
+
+namespace st::dfg {
+
+struct EdgeStat {
+  std::uint64_t count = 0;        ///< directly-follows observations
+  Micros total_gap = 0;           ///< Σ max(0, gap)
+  Micros max_gap = 0;
+  std::uint64_t overlapped = 0;   ///< observations with negative gap
+
+  [[nodiscard]] double mean_gap() const {
+    return count > 0 ? static_cast<double>(total_gap) / static_cast<double>(count) : 0.0;
+  }
+};
+
+class EdgeStatistics {
+ public:
+  using Edge = std::pair<model::Activity, model::Activity>;
+
+  /// Single pass over the cases; start/end markers carry no gaps and
+  /// are not included.
+  [[nodiscard]] static EdgeStatistics compute(const model::EventLog& log,
+                                              const model::Mapping& f);
+
+  [[nodiscard]] const std::map<Edge, EdgeStat>& per_edge() const { return stats_; }
+  [[nodiscard]] const EdgeStat* find(const model::Activity& from,
+                                     const model::Activity& to) const;
+
+  /// Edge with the largest mean gap — the dominant stall.
+  [[nodiscard]] const Edge* slowest_edge() const;
+
+ private:
+  std::map<Edge, EdgeStat> stats_;
+};
+
+}  // namespace st::dfg

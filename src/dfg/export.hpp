@@ -1,0 +1,31 @@
+// Tabular export of DFG analysis results.
+//
+// The paper's workflow ends in rendered graphs; downstream tooling
+// (spreadsheets, regression dashboards) wants the same data as CSV.
+// Activities with embedded newlines are flattened to "call path" form;
+// fields are RFC-4180-quoted when needed.
+#pragma once
+
+#include <string>
+
+#include "dfg/dfg.hpp"
+#include "dfg/edge_stats.hpp"
+#include "dfg/stats.hpp"
+
+namespace st::dfg {
+
+/// One row per activity:
+/// activity,events,rel_dur,total_dur_us,bytes,mean_rate_bps,max_concurrency,ranks
+[[nodiscard]] std::string stats_to_csv(const IoStatistics& stats);
+
+/// One row per edge: from,to,count
+[[nodiscard]] std::string edges_to_csv(const Dfg& g);
+
+/// One row per edge with gap statistics:
+/// from,to,count,mean_gap_us,max_gap_us,overlapped
+[[nodiscard]] std::string edge_stats_to_csv(const EdgeStatistics& stats);
+
+/// RFC-4180 field quoting (used by all exporters; exposed for tests).
+[[nodiscard]] std::string csv_field(const std::string& value);
+
+}  // namespace st::dfg

@@ -1,0 +1,169 @@
+#include "dfg/layout.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/strings.hpp"
+
+namespace st::dfg {
+
+const NodeBox* Layout::find(const Activity& a) const {
+  for (const auto& n : nodes) {
+    if (n.activity == a) return &n;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Longest-path layering from the start node. Cycles (other than self
+/// loops) are tolerated by bounding the relaxation rounds: after
+/// |V| rounds the remaining back edges are frozen as drawn-back edges.
+std::map<Activity, std::size_t> assign_layers(const Dfg& g) {
+  std::map<Activity, std::size_t> layer;
+  for (const auto& [node, count] : g.nodes()) layer[node] = 0;
+
+  const std::size_t rounds = g.nodes().size() + 1;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    bool changed = false;
+    for (const auto& [edge, count] : g.edges()) {
+      const auto& [from, to] = edge;
+      if (from == to) continue;  // self loop
+      if (layer[to] < layer[from] + 1) {
+        layer[to] = layer[from] + 1;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    if (r + 1 == rounds) {
+      // A non-self cycle exists; the loop above would oscillate
+      // forever. The layers reached so far are consistent enough to
+      // draw (the residual edges render as back edges).
+      break;
+    }
+  }
+  // The end marker goes below everything.
+  std::size_t max_layer = 0;
+  for (const auto& [node, l] : layer) {
+    if (node != Dfg::end_node()) max_layer = std::max(max_layer, l);
+  }
+  if (layer.contains(Dfg::end_node())) layer[Dfg::end_node()] = max_layer + 1;
+  return layer;
+}
+
+std::vector<std::string> label_lines_for(const Activity& a, const IoStatistics* stats,
+                                         bool show_stats) {
+  std::vector<std::string> lines;
+  for (const auto part : split(a, '\n')) lines.emplace_back(part);
+  if (show_stats && stats != nullptr) {
+    if (const ActivityStat* s = stats->find(a)) {
+      lines.push_back(s->load_label());
+      if (const std::string dr = s->dr_label(); !dr.empty()) lines.push_back(dr);
+    }
+  }
+  return lines;
+}
+
+}  // namespace
+
+Layout layout_dfg(const Dfg& g, const IoStatistics* stats, const LayoutOptions& opts) {
+  Layout out;
+  if (g.nodes().empty()) return out;
+
+  const auto layers = assign_layers(g);
+  std::size_t max_layer = 0;
+  for (const auto& [node, l] : layers) max_layer = std::max(max_layer, l);
+
+  // Group nodes by layer (deterministic start order: map order).
+  std::vector<std::vector<Activity>> rows(max_layer + 1);
+  for (const auto& [node, l] : layers) rows[l].push_back(node);
+
+  // Barycenter sweeps: order each row by the mean position of its
+  // neighbours in the previous row (downward), then upward.
+  std::map<Activity, double> pos;
+  for (auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) pos[row[i]] = static_cast<double>(i);
+  }
+  const auto neighbors_mean = [&](const Activity& node, bool upward) {
+    double sum = 0;
+    std::size_t n = 0;
+    for (const auto& [edge, count] : g.edges()) {
+      const auto& [from, to] = edge;
+      if (upward ? from == node : to == node) {
+        const Activity& other = upward ? to : from;
+        if (layers.at(other) != layers.at(node)) {
+          sum += pos[other];
+          ++n;
+        }
+      }
+    }
+    return n == 0 ? pos[node] : sum / static_cast<double>(n);
+  };
+  for (std::size_t sweep = 0; sweep < opts.barycenter_sweeps; ++sweep) {
+    const bool upward = sweep % 2 == 1;
+    for (auto& row : rows) {
+      std::stable_sort(row.begin(), row.end(), [&](const Activity& a, const Activity& b) {
+        return neighbors_mean(a, upward) < neighbors_mean(b, upward);
+      });
+      for (std::size_t i = 0; i < row.size(); ++i) pos[row[i]] = static_cast<double>(i);
+    }
+  }
+
+  // Size the boxes, place rows centered on the widest row.
+  std::vector<std::vector<NodeBox>> boxed(rows.size());
+  double max_row_width = 0;
+  for (std::size_t l = 0; l < rows.size(); ++l) {
+    double row_width = 0;
+    for (const auto& node : rows[l]) {
+      NodeBox box;
+      box.activity = node;
+      box.label_lines = label_lines_for(node, stats, opts.show_stats);
+      std::size_t longest = 1;
+      for (const auto& line : box.label_lines) longest = std::max(longest, line.size());
+      box.width = static_cast<double>(longest) * opts.char_width + 2 * opts.node_padding;
+      box.height = static_cast<double>(box.label_lines.size()) * opts.line_height +
+                   2 * opts.node_padding;
+      box.layer = l;
+      row_width += box.width;
+      boxed[l].push_back(std::move(box));
+    }
+    if (!rows[l].empty()) {
+      row_width += static_cast<double>(rows[l].size() - 1) * opts.node_gap;
+    }
+    max_row_width = std::max(max_row_width, row_width);
+  }
+
+  double y = opts.layer_gap / 2;
+  for (auto& row : boxed) {
+    double row_width = 0;
+    double row_height = 0;
+    for (const auto& box : row) {
+      row_width += box.width;
+      row_height = std::max(row_height, box.height);
+    }
+    if (!row.empty()) row_width += static_cast<double>(row.size() - 1) * opts.node_gap;
+    double x = (max_row_width - row_width) / 2 + opts.node_gap;
+    for (auto& box : row) {
+      box.x = x;
+      box.y = y;
+      x += box.width + opts.node_gap;
+      out.nodes.push_back(box);
+    }
+    y += row_height + opts.layer_gap;
+  }
+  out.width = max_row_width + 2 * opts.node_gap;
+  out.height = y;
+
+  for (const auto& [edge, count] : g.edges()) {
+    EdgeGeom geom;
+    geom.from = edge.first;
+    geom.to = edge.second;
+    geom.count = count;
+    geom.self_loop = edge.first == edge.second;
+    geom.back_edge = !geom.self_loop && layers.at(edge.second) <= layers.at(edge.first);
+    out.edges.push_back(std::move(geom));
+  }
+  return out;
+}
+
+}  // namespace st::dfg

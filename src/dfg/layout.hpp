@@ -1,0 +1,73 @@
+// Layered graph layout for DFGs.
+//
+// Graphviz renders the paper's figures; to keep this repository
+// dependency-free we implement the classic Sugiyama pipeline in a
+// form sufficient for DFGs (which are almost-DAGs: ● at the top, ■ at
+// the bottom, self loops, and occasional back edges):
+//
+//   1. layer assignment  — longest path from ● (back edges relaxed a
+//      bounded number of rounds, then frozen),
+//   2. crossing reduction — barycenter sweeps over adjacent layers,
+//   3. coordinates       — nodes sized by their label text, centered
+//      per layer on a common canvas.
+//
+// The result is a plain geometry description consumed by the SVG
+// renderer (render_svg.hpp) and tested independently of any markup.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dfg/dfg.hpp"
+#include "dfg/stats.hpp"
+
+namespace st::dfg {
+
+struct NodeBox {
+  Activity activity;
+  std::vector<std::string> label_lines;
+  double x = 0;  ///< left edge
+  double y = 0;  ///< top edge
+  double width = 0;
+  double height = 0;
+  std::size_t layer = 0;
+
+  [[nodiscard]] double cx() const { return x + width / 2; }
+  [[nodiscard]] double cy() const { return y + height / 2; }
+};
+
+struct EdgeGeom {
+  Activity from;
+  Activity to;
+  std::uint64_t count = 0;
+  bool self_loop = false;
+  bool back_edge = false;  ///< points to an earlier or equal layer
+};
+
+struct Layout {
+  std::vector<NodeBox> nodes;  ///< topological-ish order (by layer)
+  std::vector<EdgeGeom> edges;
+  double width = 0;   ///< canvas size
+  double height = 0;
+
+  [[nodiscard]] const NodeBox* find(const Activity& a) const;
+};
+
+struct LayoutOptions {
+  double char_width = 7.5;    ///< monospace-ish text metrics
+  double line_height = 14.0;
+  double node_padding = 8.0;
+  double layer_gap = 56.0;
+  double node_gap = 28.0;
+  std::size_t barycenter_sweeps = 4;
+  bool show_stats = true;  ///< include Load/DR lines in labels
+};
+
+/// Computes the layout. `stats` may be null (labels are then just the
+/// activity text).
+[[nodiscard]] Layout layout_dfg(const Dfg& g, const IoStatistics* stats,
+                                const LayoutOptions& opts = {});
+
+}  // namespace st::dfg

@@ -1,0 +1,65 @@
+#include "dfg/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/errors.hpp"
+
+namespace st::dfg {
+
+Micros percentile_sorted(const std::vector<Micros>& sorted, double q) {
+  if (sorted.empty()) throw LogicError("percentile of empty sample");
+  if (q <= 0.0) return sorted.front();
+  if (q >= 100.0) return sorted.back();
+  // Nearest-rank: ceil(q/100 * N)-th smallest (1-based).
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size(), std::max<std::size_t>(rank, 1)) - 1];
+}
+
+DurationProfiles DurationProfiles::compute(const model::EventLog& log,
+                                           const model::Mapping& f) {
+  std::map<model::Activity, std::vector<Micros>> samples;
+  for (const model::Case& c : log.cases()) {
+    for (const model::Event& e : c.events()) {
+      if (auto a = f(e)) samples[std::move(*a)].push_back(e.dur);
+    }
+  }
+  DurationProfiles out;
+  for (auto& [activity, durations] : samples) {
+    std::sort(durations.begin(), durations.end());
+    DurationProfile p;
+    p.samples = durations.size();
+    p.min = durations.front();
+    p.p50 = percentile_sorted(durations, 50);
+    p.p90 = percentile_sorted(durations, 90);
+    p.p99 = percentile_sorted(durations, 99);
+    p.max = durations.back();
+    out.profiles_.emplace(activity, p);
+  }
+  return out;
+}
+
+const DurationProfile* DurationProfiles::find(const model::Activity& a) const {
+  const auto it = profiles_.find(a);
+  return it == profiles_.end() ? nullptr : &it->second;
+}
+
+std::string DurationProfiles::render() const {
+  std::string out = "activity                          n      min      p50      p90      p99      max (us)\n";
+  for (const auto& [activity, p] : profiles_) {
+    std::string flat = activity;
+    std::replace(flat.begin(), flat.end(), '\n', ' ');
+    flat.resize(std::max<std::size_t>(32, flat.size()), ' ');
+    auto pad = [](Micros v) {
+      std::string s = std::to_string(v);
+      return std::string(s.size() >= 8 ? 1 : 8 - s.size(), ' ') + s;
+    };
+    out += flat + pad(static_cast<Micros>(p.samples)) + pad(p.min) + pad(p.p50) + pad(p.p90) +
+           pad(p.p99) + pad(p.max) + "\n";
+  }
+  return out;
+}
+
+}  // namespace st::dfg

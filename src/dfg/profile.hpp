@@ -1,0 +1,55 @@
+// Per-activity duration distributions.
+//
+// The mean-based statistics of Sec. IV-B hide tail behaviour; lock
+// convoys and token revocation produce heavily skewed durations (the
+// first SSF open is fast, the 96th pays 95 revocations). This module
+// computes nearest-rank percentiles of e[dur] per activity, exposing
+// the skew that Load alone cannot show. An extension beyond the paper
+// (DESIGN.md §5).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "model/event_log.hpp"
+#include "model/mapping.hpp"
+
+namespace st::dfg {
+
+struct DurationProfile {
+  std::size_t samples = 0;
+  Micros min = 0;
+  Micros p50 = 0;   ///< median
+  Micros p90 = 0;
+  Micros p99 = 0;
+  Micros max = 0;
+
+  /// max/p50 — a quick skew indicator (1 == uniform durations).
+  [[nodiscard]] double tail_ratio() const {
+    return p50 > 0 ? static_cast<double>(max) / static_cast<double>(p50) : 0.0;
+  }
+};
+
+class DurationProfiles {
+ public:
+  /// One pass + per-activity sort: O(n log(n/m)).
+  [[nodiscard]] static DurationProfiles compute(const model::EventLog& log,
+                                                const model::Mapping& f);
+
+  [[nodiscard]] const std::map<model::Activity, DurationProfile>& per_activity() const {
+    return profiles_;
+  }
+  [[nodiscard]] const DurationProfile* find(const model::Activity& a) const;
+
+  /// Text table (one row per activity), deterministic.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::map<model::Activity, DurationProfile> profiles_;
+};
+
+/// Nearest-rank percentile of a sorted sample vector (q in [0, 100]).
+[[nodiscard]] Micros percentile_sorted(const std::vector<Micros>& sorted, double q);
+
+}  // namespace st::dfg

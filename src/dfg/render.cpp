@@ -1,0 +1,160 @@
+#include "dfg/render.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/strings.hpp"
+
+namespace st::dfg {
+
+namespace {
+
+/// Stable DOT identifier for a node ("n0", "n1", ... in map order).
+std::map<Activity, std::string> node_ids(const Dfg& g) {
+  std::map<Activity, std::string> ids;
+  std::size_t next = 0;
+  for (const auto& [node, count] : g.nodes()) {
+    ids.emplace(node, "n" + std::to_string(next++));
+  }
+  return ids;
+}
+
+std::string node_label(const Activity& a, const IoStatistics* stats, const RenderOptions& opts) {
+  std::string label = a;
+  if (opts.show_stats && stats != nullptr) {
+    if (const ActivityStat* s = stats->find(a)) {
+      label += "\n" + s->load_label();
+      if (const std::string dr = s->dr_label(); !dr.empty()) label += "\n" + dr;
+      if (opts.show_ranks) label += "\nRanks: " + std::to_string(s->rank_count);
+    }
+  }
+  return label;
+}
+
+/// Single-line form of an activity for the ASCII table ("read /usr/lib").
+std::string flat(const Activity& a) {
+  std::string out = a;
+  std::replace(out.begin(), out.end(), '\n', ' ');
+  return out;
+}
+
+}  // namespace
+
+std::string render_dot(const Dfg& g, const IoStatistics* stats, const Styler* styler,
+                       const RenderOptions& opts) {
+  const auto ids = node_ids(g);
+  std::string out = "digraph \"" + dot_escape(opts.graph_name) + "\" {\n";
+  out += "  rankdir=TB;\n  node [shape=box, style=\"rounded,filled\", fillcolor=white];\n";
+  for (const auto& [node, count] : g.nodes()) {
+    out += "  " + ids.at(node);
+    std::string label;
+    if (node == Dfg::start_node()) {
+      label = "●";
+      out += " [shape=circle, label=\"" + dot_escape(label) + "\"";
+    } else if (node == Dfg::end_node()) {
+      label = "■";
+      out += " [shape=square, label=\"" + dot_escape(label) + "\"";
+    } else {
+      label = node_label(node, stats, opts);
+      out += " [label=\"" + dot_escape(label) + "\"";
+    }
+    if (styler != nullptr) {
+      const NodeStyle style = styler->node_style(node);
+      if (!style.fill.empty()) out += ", fillcolor=\"" + style.fill + "\"";
+      if (!style.fontcolor.empty()) out += ", fontcolor=\"" + style.fontcolor + "\"";
+    }
+    out += "];\n";
+  }
+  for (const auto& [edge, count] : g.edges()) {
+    out += "  " + ids.at(edge.first) + " -> " + ids.at(edge.second);
+    out += " [label=\"" + std::to_string(count) + "\"";
+    if (styler != nullptr) {
+      if (const std::string color = styler->edge_color(edge.first, edge.second); !color.empty()) {
+        out += ", color=" + color + ", fontcolor=" + color;
+      }
+    }
+    out += "];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string render_ascii(const Dfg& g, const IoStatistics* stats, const Styler* styler,
+                         const RenderOptions& opts) {
+  std::string out;
+  for (const auto& [node, count] : g.nodes()) {
+    if (node == Dfg::start_node() || node == Dfg::end_node()) continue;
+    out += "NODE " + flat(node);
+    if (opts.show_stats && stats != nullptr) {
+      if (const ActivityStat* s = stats->find(node)) {
+        out += " | " + s->load_label();
+        if (const std::string dr = s->dr_label(); !dr.empty()) out += " | " + dr;
+        if (opts.show_ranks) out += " | Ranks: " + std::to_string(s->rank_count);
+      }
+    }
+    if (styler != nullptr) {
+      if (const NodeStyle style = styler->node_style(node); !style.tag.empty()) {
+        out += " | " + style.tag;
+      }
+    }
+    out += "\n";
+  }
+  for (const auto& [edge, count] : g.edges()) {
+    const std::string from = edge.first == Dfg::start_node() ? "●" : flat(edge.first);
+    const std::string to = edge.second == Dfg::end_node() ? "■" : flat(edge.second);
+    out += "EDGE " + from + " -> " + to + " [" + std::to_string(count) + "]";
+    if (styler != nullptr) {
+      if (const std::string color = styler->edge_color(edge.first, edge.second); !color.empty()) {
+        out += " " + color;
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string render_timeline(const std::vector<TimelineEntry>& entries, std::size_t width) {
+  if (entries.empty()) return "(empty timeline)\n";
+  Micros lo = entries.front().interval.start;
+  Micros hi = entries.front().interval.end;
+  for (const auto& e : entries) {
+    lo = std::min(lo, e.interval.start);
+    hi = std::max(hi, e.interval.end);
+  }
+  const double span = std::max<double>(1.0, static_cast<double>(hi - lo));
+
+  // One row per case, rows ordered by first interval start.
+  std::map<model::CaseId, std::string> rows;
+  std::size_t name_width = 0;
+  for (const auto& e : entries) {
+    name_width = std::max(name_width, e.case_id.to_string().size());
+  }
+  for (const auto& e : entries) {
+    auto [it, inserted] = rows.try_emplace(e.case_id, std::string(width, '.'));
+    auto scale = [&](Micros t) {
+      const double frac = static_cast<double>(t - lo) / span;
+      return std::min(width - 1, static_cast<std::size_t>(frac * static_cast<double>(width)));
+    };
+    const std::size_t a = scale(e.interval.start);
+    const std::size_t b = std::max(a, scale(e.interval.end));
+    for (std::size_t i = a; i <= b; ++i) it->second[i] = '=';
+  }
+  std::string out;
+  for (const auto& [case_id, bar] : rows) {
+    std::string name = case_id.to_string();
+    name.resize(std::max(name_width, name.size()), ' ');
+    out += name + " |" + bar + "|\n";
+  }
+  out += "span: " + std::to_string(hi - lo) + " us, " + std::to_string(entries.size()) +
+         " events, max-concurrency: " +
+         std::to_string(get_max_concurrency([&] {
+           std::vector<Interval> ivs;
+           ivs.reserve(entries.size());
+           for (const auto& e : entries) ivs.push_back(e.interval);
+           return ivs;
+         }())) +
+         "\n";
+  return out;
+}
+
+}  // namespace st::dfg

@@ -1,0 +1,48 @@
+// DFG renderers.
+//
+// render_dot emits Graphviz DOT (the paper renders through Graphviz;
+// DOT text is the stable, dependency-free interface). Node labels
+// follow Fig. 3a's semantics:
+//
+//     <CALL_NAME>\n<DIRECTORY_PATH>
+//     Load: <RELATIVE_DUR> (<BYTES_MOVED>)
+//     DR: <MAX_CONC> x <PROCESS_DATA_RATE>
+//     [Ranks: <N>]
+//
+// render_ascii produces a deterministic plain-text table (one NODE row
+// per activity, one EDGE row per relation) — the form the bench
+// binaries print and the tests assert against.
+//
+// render_timeline draws the Fig. 5 per-case interval chart.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfg/coloring.hpp"
+#include "dfg/concurrency.hpp"
+#include "dfg/dfg.hpp"
+#include "dfg/stats.hpp"
+
+namespace st::dfg {
+
+struct RenderOptions {
+  bool show_stats = true;   ///< append Load/DR lines to node labels
+  bool show_ranks = false;  ///< append "Ranks: N" (Fig. 3c annotation)
+  std::string graph_name = "DFG";
+};
+
+/// Graphviz DOT text. `stats` and `styler` may be null.
+[[nodiscard]] std::string render_dot(const Dfg& g, const IoStatistics* stats,
+                                     const Styler* styler, const RenderOptions& opts = {});
+
+/// Deterministic text table. `stats` and `styler` may be null.
+[[nodiscard]] std::string render_ascii(const Dfg& g, const IoStatistics* stats,
+                                       const Styler* styler, const RenderOptions& opts = {});
+
+/// ASCII timeline chart of event intervals (one row per case),
+/// `width` columns wide. Matches Fig. 5's layout.
+[[nodiscard]] std::string render_timeline(const std::vector<TimelineEntry>& entries,
+                                          std::size_t width = 60);
+
+}  // namespace st::dfg

@@ -1,0 +1,26 @@
+// Self-contained SVG rendering of a laid-out DFG.
+//
+// Produces a single .svg document (no external resources) with the
+// paper's visual vocabulary: rounded boxes with the activity + Load/DR
+// lines, ● and ■ markers, arrowed edges with frequency labels, self
+// loops as side arcs, and node fills/edge colors taken from a Styler
+// (statistics shading or green/red partition).
+#pragma once
+
+#include <string>
+
+#include "dfg/coloring.hpp"
+#include "dfg/layout.hpp"
+
+namespace st::dfg {
+
+struct SvgOptions {
+  LayoutOptions layout;
+  std::string title = "DFG";
+};
+
+/// Renders the graph to SVG markup. `stats` and `styler` may be null.
+[[nodiscard]] std::string render_svg(const Dfg& g, const IoStatistics* stats,
+                                     const Styler* styler, const SvgOptions& opts = {});
+
+}  // namespace st::dfg

@@ -1,0 +1,91 @@
+#include "dfg/stats.hpp"
+
+#include <algorithm>
+
+#include "support/si.hpp"
+
+namespace st::dfg {
+
+std::string ActivityStat::load_label() const {
+  std::string out = "Load:" + format_ratio(rel_dur);
+  if (has_bytes) out += " (" + format_bytes(static_cast<double>(bytes)) + ")";
+  return out;
+}
+
+std::string ActivityStat::dr_label() const {
+  if (rate_samples == 0) return {};
+  return "DR: " + std::to_string(max_concurrency) + "x" + format_rate_mbps(mean_rate);
+}
+
+IoStatistics IoStatistics::compute(const model::EventLog& log, const model::Mapping& f) {
+  struct Accumulator {
+    ActivityStat stat;
+    double rate_sum = 0.0;
+    std::vector<Interval> intervals;
+    std::set<model::CaseId> cases;
+  };
+  std::map<model::Activity, Accumulator> acc;
+
+  for (const model::Case& c : log.cases()) {
+    for (const model::Event& e : c.events()) {
+      const auto a = f(e);
+      if (!a) continue;
+      Accumulator& slot = acc[*a];
+      slot.stat.total_dur += e.dur;
+      ++slot.stat.event_count;
+      if (e.has_size()) {
+        slot.stat.bytes += e.size;
+        slot.stat.has_bytes = true;
+        if (e.dur > 0) {
+          slot.rate_sum += static_cast<double>(e.size) /
+                           (static_cast<double>(e.dur) / static_cast<double>(kMicrosPerSecond));
+          ++slot.stat.rate_samples;
+        }
+      }
+      slot.intervals.push_back(Interval{e.start, e.end()});
+      slot.cases.insert(c.id());
+    }
+  }
+
+  IoStatistics out;
+  for (auto& [activity, slot] : acc) {
+    out.total_dur_ += slot.stat.total_dur;
+  }
+  for (auto& [activity, slot] : acc) {
+    ActivityStat stat = slot.stat;
+    stat.rel_dur = out.total_dur_ > 0
+                       ? static_cast<double>(stat.total_dur) / static_cast<double>(out.total_dur_)
+                       : 0.0;
+    stat.mean_rate = stat.rate_samples > 0 ? slot.rate_sum / static_cast<double>(stat.rate_samples)
+                                           : 0.0;
+    stat.max_concurrency = get_max_concurrency(std::move(slot.intervals));
+    stat.rank_count = slot.cases.size();
+    out.stats_.emplace(activity, std::move(stat));
+  }
+  return out;
+}
+
+const ActivityStat* IoStatistics::find(const model::Activity& a) const {
+  const auto it = stats_.find(a);
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+std::vector<TimelineEntry> IoStatistics::timeline(const model::EventLog& log,
+                                                  const model::Mapping& f,
+                                                  const model::Activity& a) {
+  std::vector<TimelineEntry> out;
+  for (const model::Case& c : log.cases()) {
+    for (const model::Event& e : c.events()) {
+      const auto mapped = f(e);
+      if (mapped && *mapped == a) {
+        out.push_back(TimelineEntry{c.id(), Interval{e.start, e.end()}});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const TimelineEntry& x, const TimelineEntry& y) {
+    return x.interval.start < y.interval.start;
+  });
+  return out;
+}
+
+}  // namespace st::dfg

@@ -1,0 +1,70 @@
+// Activity statistics (paper Sec. IV-B).
+//
+// For every activity a in A_f over an event log C:
+//   relative duration rd_f(a,C)   Eq. 6–8   share of total I/O time
+//   total bytes moved b_f(a,C)    Eq. 9     Σ e[size] (transfer calls only)
+//   process data rate dr_f(a,C)   Eq. 11–13 mean of per-event size/dur
+//   max concurrency mc_f(a,C)     Eq. 14–16 interval-sweep maximum
+// plus the number of distinct ranks (cases) that executed the activity
+// — rendered as the "Ranks:" annotation seen in Fig. 3c.
+//
+// The figures combine them as:
+//   "Load: rd (bytes)"   and   "DR: mc x rate MB/s"      (Eq. 10, 17)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dfg/concurrency.hpp"
+#include "model/event_log.hpp"
+#include "model/mapping.hpp"
+
+namespace st::dfg {
+
+struct ActivityStat {
+  Micros total_dur = 0;          ///< Σ e[dur] (Eq. 7)
+  double rel_dur = 0.0;          ///< Eq. 8
+  std::int64_t bytes = 0;        ///< Eq. 9; 0 when no event carried a size
+  bool has_bytes = false;        ///< true iff some event carried a size
+  double mean_rate = 0.0;        ///< bytes/second, Eq. 13; 0 if no rated event
+  std::size_t rate_samples = 0;  ///< events contributing to mean_rate
+  std::size_t max_concurrency = 0;  ///< Eq. 16
+  std::size_t rank_count = 0;       ///< distinct cases executing the activity
+  std::uint64_t event_count = 0;
+
+  /// "Load: 0.22 (14.98 KB)" — bytes omitted when the activity moved
+  /// no payload (openat nodes in Fig. 8 show "Load:0.55" only).
+  [[nodiscard]] std::string load_label() const;
+
+  /// "DR: 2x10.15 MB/s" — empty when no event produced a data rate.
+  [[nodiscard]] std::string dr_label() const;
+};
+
+class IoStatistics {
+ public:
+  /// Single pass over the events + per-activity grouping (the O(mn)
+  /// step of Sec. V).
+  [[nodiscard]] static IoStatistics compute(const model::EventLog& log, const model::Mapping& f);
+
+  [[nodiscard]] const std::map<model::Activity, ActivityStat>& per_activity() const {
+    return stats_;
+  }
+  [[nodiscard]] const ActivityStat* find(const model::Activity& a) const;
+  [[nodiscard]] Micros total_duration() const { return total_dur_; }
+
+  /// t_f(a, C): all event intervals of activity `a` with their owning
+  /// case, ordered by start — the input of the Fig. 5 timeline plot.
+  [[nodiscard]] static std::vector<TimelineEntry> timeline(const model::EventLog& log,
+                                                           const model::Mapping& f,
+                                                           const model::Activity& a);
+
+ private:
+  std::map<model::Activity, ActivityStat> stats_;
+  Micros total_dur_ = 0;
+};
+
+}  // namespace st::dfg

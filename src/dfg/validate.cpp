@@ -1,0 +1,45 @@
+#include "dfg/validate.hpp"
+
+#include <map>
+
+namespace st::dfg {
+
+std::vector<std::string> validate(const Dfg& g) {
+  std::vector<std::string> violations;
+  std::map<Activity, std::uint64_t> in_flow;
+  std::map<Activity, std::uint64_t> out_flow;
+
+  for (const auto& [edge, count] : g.edges()) {
+    const auto& [from, to] = edge;
+    if (!g.has_node(from)) violations.push_back("edge from unknown node: " + from);
+    if (!g.has_node(to)) violations.push_back("edge to unknown node: " + to);
+    if (to == Dfg::start_node()) violations.push_back("in-edge into the start marker");
+    if (from == Dfg::end_node()) violations.push_back("out-edge from the end marker");
+    out_flow[from] += count;
+    in_flow[to] += count;
+  }
+
+  if (out_flow[Dfg::start_node()] != g.trace_count()) {
+    violations.push_back("start out-flow " + std::to_string(out_flow[Dfg::start_node()]) +
+                         " != trace count " + std::to_string(g.trace_count()));
+  }
+  if (in_flow[Dfg::end_node()] != g.trace_count()) {
+    violations.push_back("end in-flow " + std::to_string(in_flow[Dfg::end_node()]) +
+                         " != trace count " + std::to_string(g.trace_count()));
+  }
+
+  for (const auto& [node, count] : g.nodes()) {
+    if (node == Dfg::start_node() || node == Dfg::end_node()) continue;
+    if (in_flow[node] != count) {
+      violations.push_back("node '" + node + "' in-flow " + std::to_string(in_flow[node]) +
+                           " != occurrence count " + std::to_string(count));
+    }
+    if (out_flow[node] != count) {
+      violations.push_back("node '" + node + "' out-flow " + std::to_string(out_flow[node]) +
+                           " != occurrence count " + std::to_string(count));
+    }
+  }
+  return violations;
+}
+
+}  // namespace st::dfg

@@ -1,0 +1,27 @@
+// Structural invariants of a well-formed DFG.
+//
+// Any graph produced by Dfg::build / add_trace / merge satisfies flow
+// conservation: every activity node is entered exactly as often as it
+// is left, and exactly as often as the activity occurs:
+//
+//   (1) Σ out-edges(●) == Σ in-edges(■) == trace_count
+//   (2) for every activity a:
+//         Σ in-edges(a) == Σ out-edges(a) == node_count(a)
+//   (3) every edge endpoint is a known node; ● has no in-edges and
+//       ■ no out-edges.
+//
+// validate() returns human-readable violations (empty == valid). It is
+// used by the property tests and available as a debugging aid for
+// hand-built or externally loaded graphs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfg/dfg.hpp"
+
+namespace st::dfg {
+
+[[nodiscard]] std::vector<std::string> validate(const Dfg& g);
+
+}  // namespace st::dfg

@@ -1,0 +1,103 @@
+#include "elog/format.hpp"
+
+#include "support/crc32.hpp"
+#include "support/errors.hpp"
+
+namespace st::elog {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+}
+
+void put_i64(std::string& out, std::int64_t v) { put_u64(out, static_cast<std::uint64_t>(v)); }
+
+void put_string(std::string& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+std::uint32_t PayloadReader::u32() {
+  if (pos_ + 4 > data_.size()) throw IoError("elog payload truncated (u32)");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data_[pos_ + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t PayloadReader::u64() {
+  if (pos_ + 8 > data_.size()) throw IoError("elog payload truncated (u64)");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data_[pos_ + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+std::int64_t PayloadReader::i64() { return static_cast<std::int64_t>(u64()); }
+
+std::string PayloadReader::str() {
+  const std::uint32_t len = u32();
+  if (pos_ + len > data_.size()) throw IoError("elog payload truncated (string)");
+  std::string s(data_.substr(pos_, len));
+  pos_ += len;
+  return s;
+}
+
+void write_chunk(std::ostream& out, const ChunkTag& tag, std::string_view payload) {
+  out.write(tag.data(), static_cast<std::streamsize>(tag.size()));
+  std::string header;
+  put_u64(header, payload.size());
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  std::string crc;
+  put_u32(crc, Crc32::of(payload.data(), payload.size()));
+  out.write(crc.data(), static_cast<std::streamsize>(crc.size()));
+  if (!out) throw IoError("elog write failed");
+}
+
+Chunk read_chunk(std::istream& in) {
+  Chunk chunk;
+  in.read(chunk.tag.data(), static_cast<std::streamsize>(chunk.tag.size()));
+  if (in.gcount() != static_cast<std::streamsize>(chunk.tag.size())) {
+    throw IoError("elog truncated: missing chunk tag");
+  }
+  std::array<char, 8> len_bytes{};
+  in.read(len_bytes.data(), 8);
+  if (in.gcount() != 8) throw IoError("elog truncated: missing chunk length");
+  std::uint64_t len = 0;
+  for (int i = 0; i < 8; ++i) {
+    len |= static_cast<std::uint64_t>(static_cast<unsigned char>(len_bytes[static_cast<std::size_t>(i)]))
+           << (8 * i);
+  }
+  if (len > (1ULL << 40)) throw IoError("elog chunk length implausible");
+  chunk.payload.resize(len);
+  in.read(chunk.payload.data(), static_cast<std::streamsize>(len));
+  if (static_cast<std::uint64_t>(in.gcount()) != len) {
+    throw IoError("elog truncated: chunk payload");
+  }
+  std::array<char, 4> crc_bytes{};
+  in.read(crc_bytes.data(), 4);
+  if (in.gcount() != 4) throw IoError("elog truncated: chunk crc");
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<std::uint32_t>(static_cast<unsigned char>(crc_bytes[static_cast<std::size_t>(i)]))
+              << (8 * i);
+  }
+  const std::uint32_t actual = Crc32::of(chunk.payload.data(), chunk.payload.size());
+  if (stored != actual) {
+    throw IoError("elog corruption: crc mismatch in chunk " +
+                  std::string(chunk.tag.data(), chunk.tag.size()));
+  }
+  return chunk;
+}
+
+}  // namespace st::elog

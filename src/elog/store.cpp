@@ -1,0 +1,231 @@
+#include "elog/store.hpp"
+
+#include <fstream>
+#include <unordered_map>
+
+#include "elog/format.hpp"
+#include "strace/filename.hpp"
+#include "support/errors.hpp"
+
+namespace st::elog {
+
+namespace {
+
+/// Per-case string dictionary: intern() assigns dense ids in first-use
+/// order so the pool chunk is written before the columns referencing it.
+class StringPool {
+ public:
+  std::uint32_t intern(const std::string& s) {
+    const auto [it, inserted] = ids_.try_emplace(s, static_cast<std::uint32_t>(strings_.size()));
+    if (inserted) strings_.push_back(s);
+    return it->second;
+  }
+
+  [[nodiscard]] const std::vector<std::string>& strings() const { return strings_; }
+
+ private:
+  std::unordered_map<std::string, std::uint32_t> ids_;
+  std::vector<std::string> strings_;
+};
+
+void write_case(std::ostream& out, const model::Case& c) {
+  // CHDR: canonical case name.
+  std::string header;
+  put_string(header, strace::format_trace_filename(
+                         strace::TraceFileId{c.id().cid, c.id().host, c.id().rid}));
+  write_chunk(out, kTagCaseHeader, header);
+
+  StringPool pool;
+  std::string col_pid;
+  std::string col_call;
+  std::string col_start;
+  std::string col_dur;
+  std::string col_fp;
+  std::string col_size;
+  const auto events = c.events();
+  put_u64(col_pid, events.size());
+  for (const model::Event& e : events) {
+    put_u64(col_pid, e.pid);
+    put_u32(col_call, pool.intern(e.call));
+    put_i64(col_start, e.start);
+    put_i64(col_dur, e.dur);
+    put_u32(col_fp, pool.intern(e.fp));
+    put_i64(col_size, e.size);
+  }
+
+  std::string pool_payload;
+  put_u32(pool_payload, static_cast<std::uint32_t>(pool.strings().size()));
+  for (const auto& s : pool.strings()) put_string(pool_payload, s);
+  write_chunk(out, kTagPool, pool_payload);
+
+  write_chunk(out, kTagColPid, col_pid);
+  write_chunk(out, kTagColCall, col_call);
+  write_chunk(out, kTagColStart, col_start);
+  write_chunk(out, kTagColDur, col_dur);
+  write_chunk(out, kTagColFp, col_fp);
+  write_chunk(out, kTagColSize, col_size);
+  write_chunk(out, kTagCaseEnd, {});
+}
+
+model::Case read_case(std::istream& in, const Chunk& header) {
+  PayloadReader header_reader(header.payload);
+  const std::string name = header_reader.str();
+  const auto id = strace::parse_trace_filename(name);
+  if (!id) throw ParseError("elog case name not cid_host_rid.st: " + name);
+
+  std::vector<std::string> pool;
+  std::vector<std::uint64_t> pids;
+  std::vector<std::uint32_t> calls;
+  std::vector<std::int64_t> starts;
+  std::vector<std::int64_t> durs;
+  std::vector<std::uint32_t> fps;
+  std::vector<std::int64_t> sizes;
+  std::uint64_t rows = 0;
+
+  while (true) {
+    const Chunk chunk = read_chunk(in);
+    if (chunk.tag == kTagCaseEnd) break;
+    PayloadReader r(chunk.payload);
+    if (chunk.tag == kTagPool) {
+      const std::uint32_t n = r.u32();
+      pool.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) pool.push_back(r.str());
+    } else if (chunk.tag == kTagColPid) {
+      rows = r.u64();
+      pids.reserve(rows);
+      for (std::uint64_t i = 0; i < rows; ++i) pids.push_back(r.u64());
+    } else if (chunk.tag == kTagColCall) {
+      for (std::uint64_t i = 0; i < rows; ++i) calls.push_back(r.u32());
+    } else if (chunk.tag == kTagColStart) {
+      for (std::uint64_t i = 0; i < rows; ++i) starts.push_back(r.i64());
+    } else if (chunk.tag == kTagColDur) {
+      for (std::uint64_t i = 0; i < rows; ++i) durs.push_back(r.i64());
+    } else if (chunk.tag == kTagColFp) {
+      for (std::uint64_t i = 0; i < rows; ++i) fps.push_back(r.u32());
+    } else if (chunk.tag == kTagColSize) {
+      for (std::uint64_t i = 0; i < rows; ++i) sizes.push_back(r.i64());
+    } else {
+      throw IoError("elog: unexpected chunk inside case: " +
+                    std::string(chunk.tag.data(), chunk.tag.size()));
+    }
+  }
+
+  if (calls.size() != rows || starts.size() != rows || durs.size() != rows ||
+      fps.size() != rows || sizes.size() != rows) {
+    throw IoError("elog: column row counts disagree in case " + name);
+  }
+
+  std::vector<model::Event> events;
+  events.reserve(rows);
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    model::Event e;
+    e.cid = id->cid;
+    e.host = id->host;
+    e.rid = id->rid;
+    e.pid = pids[i];
+    if (calls[i] >= pool.size() || fps[i] >= pool.size()) {
+      throw IoError("elog: string pool id out of range in case " + name);
+    }
+    e.call = pool[calls[i]];
+    e.start = starts[i];
+    e.dur = durs[i];
+    e.fp = pool[fps[i]];
+    e.size = sizes[i];
+    events.push_back(std::move(e));
+  }
+  return model::Case(model::CaseId{id->cid, id->host, id->rid}, std::move(events));
+}
+
+}  // namespace
+
+void write_event_log(std::ostream& out, const model::EventLog& log) {
+  out.write(kMagic.data(), static_cast<std::streamsize>(kMagic.size()));
+  std::string count;
+  put_u64(count, log.case_count());
+  out.write(count.data(), static_cast<std::streamsize>(count.size()));
+  for (const model::Case& c : log.cases()) write_case(out, c);
+  write_chunk(out, kTagFileEnd, {});
+  if (!out) throw IoError("elog write failed");
+}
+
+void write_event_log_file(const std::string& path, const model::EventLog& log) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError("cannot create elog file: " + path);
+  write_event_log(out, log);
+}
+
+model::EventLog read_event_log(std::istream& in) {
+  std::string magic(kMagic.size(), '\0');
+  in.read(magic.data(), static_cast<std::streamsize>(magic.size()));
+  if (static_cast<std::size_t>(in.gcount()) != kMagic.size() || magic != kMagic) {
+    throw IoError("elog: bad magic");
+  }
+  std::array<char, 8> count_bytes{};
+  in.read(count_bytes.data(), 8);
+  if (in.gcount() != 8) throw IoError("elog truncated: case count");
+  std::uint64_t case_count = 0;
+  for (int i = 0; i < 8; ++i) {
+    case_count |= static_cast<std::uint64_t>(
+                      static_cast<unsigned char>(count_bytes[static_cast<std::size_t>(i)]))
+                  << (8 * i);
+  }
+
+  model::EventLog log;
+  for (std::uint64_t c = 0; c < case_count; ++c) {
+    const Chunk header = read_chunk(in);
+    if (header.tag != kTagCaseHeader) {
+      throw IoError("elog: expected CHDR chunk, got " +
+                    std::string(header.tag.data(), header.tag.size()));
+    }
+    log.add_case(read_case(in, header));
+  }
+  const Chunk fin = read_chunk(in);
+  if (fin.tag != kTagFileEnd) throw IoError("elog: missing FEND chunk");
+  return log;
+}
+
+model::EventLog read_event_log_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open elog file: " + path);
+  return read_event_log(in);
+}
+
+ElogAppender::ElogAppender(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) throw IoError("cannot create elog file: " + path);
+  out_.write(kMagic.data(), static_cast<std::streamsize>(kMagic.size()));
+  std::string count;
+  put_u64(count, 0);  // patched by finalize()
+  out_.write(count.data(), static_cast<std::streamsize>(count.size()));
+  if (!out_) throw IoError("elog write failed");
+}
+
+ElogAppender::~ElogAppender() {
+  try {
+    finalize();
+  } catch (const Error&) {
+    // Destructors must not throw; an unfinalized file is unreadable
+    // (missing FEND), which is the safe failure mode.
+  }
+}
+
+void ElogAppender::append(const model::Case& c) {
+  if (finalized_) throw LogicError("ElogAppender::append after finalize");
+  write_case(out_, c);
+  ++cases_written_;
+}
+
+void ElogAppender::finalize() {
+  if (finalized_) return;
+  write_chunk(out_, kTagFileEnd, {});
+  // Patch the case count at its fixed offset right after the magic.
+  out_.seekp(static_cast<std::streamoff>(kMagic.size()));
+  std::string count;
+  put_u64(count, cases_written_);
+  out_.write(count.data(), static_cast<std::streamsize>(count.size()));
+  out_.flush();
+  if (!out_) throw IoError("elog finalize failed");
+  finalized_ = true;
+}
+
+}  // namespace st::elog

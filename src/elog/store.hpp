@@ -1,0 +1,57 @@
+// elog store: EventLog <-> container (file or stream).
+//
+// Mirrors the paper's HDF5 layout: one group per case with columns
+// pid / call / start / dur / fp / size sorted by start. call and fp
+// are dictionary-encoded against a per-case string pool (file paths
+// repeat heavily in syscall traces, so this is also the main size
+// win). Writing preserves case order; reading rebuilds Cases whose
+// events are re-sorted by start (idempotent for valid files).
+#pragma once
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "model/event_log.hpp"
+
+namespace st::elog {
+
+/// Serializes a whole event log.
+void write_event_log(std::ostream& out, const model::EventLog& log);
+void write_event_log_file(const std::string& path, const model::EventLog& log);
+
+/// Deserializes; throws IoError on truncation/corruption and
+/// ParseError on malformed case names.
+[[nodiscard]] model::EventLog read_event_log(std::istream& in);
+[[nodiscard]] model::EventLog read_event_log_file(const std::string& path);
+
+/// Incremental writer: cases are appended one at a time (e.g. as trace
+/// files finish parsing) without holding the whole log in memory. The
+/// case count lives at a fixed offset after the magic and is patched
+/// on finalize(); a file that was never finalized fails to read
+/// (missing FEND), so partial writes cannot be mistaken for complete
+/// logs.
+class ElogAppender {
+ public:
+  explicit ElogAppender(const std::string& path);
+  ElogAppender(const ElogAppender&) = delete;
+  ElogAppender& operator=(const ElogAppender&) = delete;
+  /// Finalizes implicitly if finalize() was not called (errors are
+  /// swallowed in the destructor; call finalize() to observe them).
+  ~ElogAppender();
+
+  void append(const model::Case& c);
+
+  /// Writes the FEND chunk and patches the case count. Idempotent.
+  void finalize();
+
+  [[nodiscard]] std::size_t cases_written() const { return cases_written_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t cases_written_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace st::elog

@@ -1,0 +1,51 @@
+// Pre-configured experiment campaigns — the runs behind the paper's
+// evaluation figures, shared by examples, benches and tests.
+//
+//   ssf_fpp_campaign    -> Fig. 8 (SSF vs FPP, POSIX API)
+//   mpiio_campaign      -> Fig. 9 (POSIX vs naive MPI-IO, SSF)
+//
+// Each returns the *combined* event log (both runs merged, like the
+// paper's CX / CY logs) already restricted to the system calls the
+// paper recorded for that experiment.
+#pragma once
+
+#include <cstdint>
+
+#include "iosim/cost_model.hpp"
+#include "iosim/ior.hpp"
+#include "model/event_log.hpp"
+
+namespace st::iosim {
+
+struct CampaignScale {
+  int num_ranks = 96;
+  int ranks_per_node = 48;
+  std::int64_t transfer_size = 1 << 20;
+  std::int64_t block_size = 16 << 20;
+  int segments = 3;
+  std::uint64_t seed = 42;
+
+  /// Reduced-size preset for unit tests and quick examples (8 ranks,
+  /// 4 transfers per block) — same shape, ~100x fewer events.
+  [[nodiscard]] static CampaignScale small();
+};
+
+/// Base IOR options for one run of the SSF-vs-FPP experiment.
+[[nodiscard]] IorOptions make_ssf_options(const CampaignScale& scale);
+[[nodiscard]] IorOptions make_fpp_options(const CampaignScale& scale);
+
+/// CX of Sec. V-A: 2 x num_ranks cases (cids "ssf" and "fpp"),
+/// restricted to variants of openat/read/write, as in the paper.
+[[nodiscard]] model::EventLog ssf_fpp_campaign(const CampaignScale& scale,
+                                               const CostModel& model = {});
+
+/// Options for one run of the MPI-IO experiment (both SSF mode).
+[[nodiscard]] IorOptions make_posix_options(const CampaignScale& scale);
+[[nodiscard]] IorOptions make_mpiio_options(const CampaignScale& scale);
+
+/// CY of Sec. V-B: cids "po" and "mpiio", restricted to variants of
+/// openat/read/write plus lseek.
+[[nodiscard]] model::EventLog mpiio_campaign(const CampaignScale& scale,
+                                             const CostModel& model = {});
+
+}  // namespace st::iosim

@@ -1,0 +1,239 @@
+#include "iosim/engine.hpp"
+
+#include <algorithm>
+
+#include "support/errors.hpp"
+
+namespace st::iosim {
+
+ProcessContext::FdState& ProcessContext::fd_state(int fd) {
+  const auto it = fd_table_.find(fd);
+  if (it == fd_table_.end()) {
+    throw LogicError("iosim: bad fd " + std::to_string(fd) + " in pid " + std::to_string(pid_));
+  }
+  return it->second;
+}
+
+des::SimTime IoSystem::service(Xoshiro256& rng, double base_us) const {
+  // Every traced syscall pays the ptrace-stop overhead on top of its
+  // jittered service time.
+  const double jittered = rng.lognormal(std::max(base_us, model_.small_io_floor_us),
+                                        model_.jitter_sigma);
+  return std::max<des::SimTime>(
+      1, static_cast<des::SimTime>(jittered + model_.trace_overhead_us));
+}
+
+void IoSystem::emit(ProcessContext& proc, des::SimTime start, const std::string& call,
+                    std::string args, std::int64_t retval, const std::string& path) {
+  strace::RawRecord rec;
+  rec.pid = proc.pid();
+  rec.timestamp = proc.wallclock_base() + start;
+  rec.kind = strace::RecordKind::Complete;
+  rec.call = call;
+  rec.args = std::move(args);
+  rec.retval = retval;
+  rec.duration = sim_.now() - start;
+  rec.path = path;
+  proc.emit(std::move(rec));
+}
+
+des::Proc<int> IoSystem::sys_openat(ProcessContext& proc, std::string path, bool create) {
+  const des::SimTime start = sim_.now();
+  Inode& node = fs_.inode(path);
+
+  // Token revocation: a *write-mode* open must downgrade the token of
+  // every process that arrived at this inode before it (and has not
+  // closed it) — GPFS-like behaviour and the dominant SSF cost.
+  // Read-only opens take a shared token and pay nothing extra, which
+  // is why openat on the shared libraries under $SOFTWARE stays cheap
+  // (Fig. 8a). Counting at *entry* makes N simultaneous shared opens
+  // pay 0, 1, ..., N-1 revocations — the convoy a token manager forms.
+  const std::size_t prior_openers = node.openers;
+  ++node.openers;
+  double cost = model_.open_base_us;
+  if (create) {
+    cost += model_.token_revoke_us * static_cast<double>(prior_openers);
+  }
+
+  const bool creating = create && !node.exists;
+  if (creating) {
+    // Creates queue at the finite-capacity metadata server.
+    co_await mds_.acquire();
+    co_await sim_.delay(service(proc.meta_rng(), model_.open_create_us));
+    mds_.release();
+    node.exists = true;
+  }
+  co_await sim_.delay(service(proc.meta_rng(), cost));
+
+  const int fd = proc.allocate_fd(path);
+  std::string args = "AT_FDCWD, \"" + path + "\", ";
+  args += creating || create ? "O_RDWR|O_CREAT, 0644" : "O_RDONLY";
+  emit(proc, start, "openat", std::move(args), fd, path);
+  co_return fd;
+}
+
+des::Proc<std::int64_t> IoSystem::sys_read(ProcessContext& proc, int fd, std::int64_t bytes) {
+  const des::SimTime start = sim_.now();
+  auto& state = proc.fd_state(fd);
+  Inode& node = fs_.inode(state.path);
+
+  ++node.active_readers;
+  // Reads of blocks this host wrote come from the page cache (DRAM)
+  // and bypass storage contention — the effect IOR's -C flag defeats.
+  const bool cached =
+      node.is_cached(proc.host(), state.offset, bytes, model_.cache_block_bytes);
+  const double bw = cached ? model_.cache_read_bw_mbps : model_.read_bw_mbps;
+  const double dilation =
+      cached ? 1.0
+             : 1.0 + model_.read_contention_alpha * static_cast<double>(node.active_readers - 1);
+  co_await sim_.delay(service(proc.data_rng(),
+                              model_.transfer_us(static_cast<double>(bytes), bw) * dilation));
+  --node.active_readers;
+
+  state.offset += bytes;
+  std::string args = std::to_string(fd) + "<" + state.path + ">, \"\"..., " +
+                     std::to_string(bytes);
+  emit(proc, start, "read", std::move(args), bytes, state.path);
+  co_return bytes;
+}
+
+des::Proc<std::int64_t> IoSystem::sys_write(ProcessContext& proc, int fd, std::int64_t bytes) {
+  const des::SimTime start = sim_.now();
+  auto& state = proc.fd_state(fd);
+  Inode& node = fs_.inode(state.path);
+
+  ++node.active_writers;
+  const double dilation =
+      1.0 + model_.write_contention_alpha * static_cast<double>(node.active_writers - 1);
+  co_await sim_.delay(service(proc.data_rng(),
+                              model_.transfer_us(static_cast<double>(bytes),
+                                                 model_.write_bw_mbps) * dilation));
+  --node.active_writers;
+
+  node.mark_cached(proc.host(), state.offset, bytes, model_.cache_block_bytes);
+  state.offset += bytes;
+  node.size = std::max(node.size, state.offset);
+  node.dirty_bytes += bytes;
+  std::string args = std::to_string(fd) + "<" + state.path + ">, \"\"..., " +
+                     std::to_string(bytes);
+  emit(proc, start, "write", std::move(args), bytes, state.path);
+  co_return bytes;
+}
+
+des::Proc<std::int64_t> IoSystem::sys_pread64(ProcessContext& proc, int fd, std::int64_t bytes,
+                                              std::int64_t offset) {
+  const des::SimTime start = sim_.now();
+  auto& state = proc.fd_state(fd);
+  Inode& node = fs_.inode(state.path);
+
+  ++node.active_readers;
+  const bool cached = node.is_cached(proc.host(), offset, bytes, model_.cache_block_bytes);
+  const double bw = cached ? model_.cache_read_bw_mbps : model_.read_bw_mbps;
+  const double dilation =
+      cached ? 1.0
+             : 1.0 + model_.read_contention_alpha * static_cast<double>(node.active_readers - 1);
+  co_await sim_.delay(service(proc.data_rng(),
+                              model_.transfer_us(static_cast<double>(bytes), bw) * dilation));
+  --node.active_readers;
+
+  std::string args = std::to_string(fd) + "<" + state.path + ">, \"\"..., " +
+                     std::to_string(bytes) + ", " + std::to_string(offset);
+  emit(proc, start, "pread64", std::move(args), bytes, state.path);
+  co_return bytes;
+}
+
+des::Proc<std::int64_t> IoSystem::sys_pwrite64(ProcessContext& proc, int fd, std::int64_t bytes,
+                                               std::int64_t offset) {
+  const des::SimTime start = sim_.now();
+  auto& state = proc.fd_state(fd);
+  Inode& node = fs_.inode(state.path);
+
+  ++node.active_writers;
+  const double dilation =
+      1.0 + model_.write_contention_alpha * static_cast<double>(node.active_writers - 1);
+  co_await sim_.delay(service(proc.data_rng(),
+                              model_.transfer_us(static_cast<double>(bytes),
+                                                 model_.write_bw_mbps) * dilation));
+  --node.active_writers;
+
+  node.mark_cached(proc.host(), offset, bytes, model_.cache_block_bytes);
+  node.size = std::max(node.size, offset + bytes);
+  node.dirty_bytes += bytes;
+  std::string args = std::to_string(fd) + "<" + state.path + ">, \"\"..., " +
+                     std::to_string(bytes) + ", " + std::to_string(offset);
+  emit(proc, start, "pwrite64", std::move(args), bytes, state.path);
+  co_return bytes;
+}
+
+des::Proc<void> IoSystem::sys_lseek(ProcessContext& proc, int fd, std::int64_t offset) {
+  const des::SimTime start = sim_.now();
+  auto& state = proc.fd_state(fd);
+  co_await sim_.delay(service(proc.meta_rng(), model_.lseek_us));
+  state.offset = offset;
+  std::string args = std::to_string(fd) + "<" + state.path + ">, " + std::to_string(offset) +
+                     ", SEEK_SET";
+  emit(proc, start, "lseek", std::move(args), offset, state.path);
+}
+
+des::Proc<std::int64_t> IoSystem::sys_stat(ProcessContext& proc, std::string path) {
+  const des::SimTime start = sim_.now();
+  Inode& node = fs_.inode(path);
+  // Metadata reads are served by the MDS but do not require exclusive
+  // tokens; a fixed base cost suffices.
+  co_await sim_.delay(service(proc.meta_rng(), model_.open_base_us / 2));
+  const std::int64_t ret = node.exists ? 0 : -1;
+  std::string args = "AT_FDCWD, \"" + path + "\", {st_mode=S_IFREG|0644, st_size=" +
+                     std::to_string(node.size) + ", ...}, 0";
+  strace::RawRecord rec;
+  rec.pid = proc.pid();
+  rec.timestamp = proc.wallclock_base() + start;
+  rec.call = "newfstatat";
+  rec.args = std::move(args);
+  rec.retval = ret;
+  if (ret < 0) rec.errno_name = "ENOENT";
+  rec.duration = sim_.now() - start;
+  rec.path = path;
+  proc.emit(std::move(rec));
+  co_return ret;
+}
+
+des::Proc<void> IoSystem::sys_unlink(ProcessContext& proc, std::string path) {
+  const des::SimTime start = sim_.now();
+  Inode& node = fs_.inode(path);
+  // Unlink is an MDS transaction like create.
+  co_await mds_.acquire();
+  co_await sim_.delay(service(proc.meta_rng(), model_.open_create_us));
+  mds_.release();
+  node.exists = false;
+  node.size = 0;
+  node.dirty_bytes = 0;
+  node.cached_blocks.clear();
+  std::string args = "AT_FDCWD, \"" + path + "\", 0";
+  emit(proc, start, "unlinkat", std::move(args), 0, path);
+}
+
+des::Proc<void> IoSystem::sys_fsync(ProcessContext& proc, int fd) {
+  const des::SimTime start = sim_.now();
+  auto& state = proc.fd_state(fd);
+  Inode& node = fs_.inode(state.path);
+  const double dirty_mb = static_cast<double>(node.dirty_bytes) / 1e6;
+  co_await sim_.delay(
+      service(proc.meta_rng(), model_.fsync_base_us + model_.fsync_per_mb_us * dirty_mb));
+  node.dirty_bytes = 0;
+  std::string args = std::to_string(fd) + "<" + state.path + ">";
+  emit(proc, start, "fsync", std::move(args), 0, state.path);
+}
+
+des::Proc<void> IoSystem::sys_close(ProcessContext& proc, int fd) {
+  const des::SimTime start = sim_.now();
+  auto& state = proc.fd_state(fd);
+  const std::string path = state.path;
+  Inode& node = fs_.inode(path);
+  co_await sim_.delay(service(proc.meta_rng(), model_.close_us));
+  if (node.openers > 0) --node.openers;
+  std::string args = std::to_string(fd) + "<" + path + ">";
+  proc.release_fd(fd);
+  emit(proc, start, "close", std::move(args), 0, path);
+}
+
+}  // namespace st::iosim

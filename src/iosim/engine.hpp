@@ -1,0 +1,140 @@
+// The syscall engine: simulated processes issue POSIX-level I/O calls
+// which advance virtual time (service + contention waits) and emit
+// strace-compatible RawRecords.
+//
+// Every sys_* coroutine follows the same shape:
+//   start = now
+//   [acquire contended resources]           -> wait time
+//   co_await delay(jittered service time)   -> service time
+//   [release]
+//   emit record{timestamp=start, duration=now-start, ...}
+// so recorded durations include queueing delay — precisely how a real
+// strace sees contention (the kernel call does not return earlier just
+// because the time was spent waiting on a lock).
+//
+// Argument strings are synthesized in strace's own syntax (fd
+// annotations, quoted paths, byte counts), so emitted traces round-trip
+// through the strace parser of this library.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "des/resource.hpp"
+#include "des/simulator.hpp"
+#include "iosim/cost_model.hpp"
+#include "iosim/vfs.hpp"
+#include "strace/record.hpp"
+#include "support/rng.hpp"
+
+namespace st::iosim {
+
+/// Per-process (per-rank) state: pid, fd table, recorded trace, and
+/// per-process jitter streams.
+///
+/// Jitter is drawn from two *per-process* generators — one for data
+/// transfers, one for metadata calls — so that two runs with the same
+/// seed draw identical jitter for corresponding data operations even
+/// when their metadata call patterns differ (common-random-numbers
+/// variance reduction, which makes paired comparisons like POSIX vs
+/// MPI-IO noise-free on the shared part of the workload).
+class ProcessContext {
+ public:
+  ProcessContext(std::uint64_t pid, Micros wallclock_base, std::uint64_t seed = 1,
+                 std::string host = "node1")
+      : pid_(pid),
+        wallclock_base_(wallclock_base),
+        host_(std::move(host)),
+        data_rng_(SplitMix64(seed).next()),
+        meta_rng_(SplitMix64(seed ^ 0x5DEECE66DULL).next()) {}
+
+  [[nodiscard]] std::uint64_t pid() const { return pid_; }
+  [[nodiscard]] Micros wallclock_base() const { return wallclock_base_; }
+  [[nodiscard]] const std::string& host() const { return host_; }
+  [[nodiscard]] Xoshiro256& data_rng() { return data_rng_; }
+  [[nodiscard]] Xoshiro256& meta_rng() { return meta_rng_; }
+
+  [[nodiscard]] const std::vector<strace::RawRecord>& records() const { return records_; }
+  [[nodiscard]] std::vector<strace::RawRecord> take_records() { return std::move(records_); }
+  void emit(strace::RawRecord rec) { records_.push_back(std::move(rec)); }
+
+  // fd table ----------------------------------------------------------
+  int allocate_fd(const std::string& path) {
+    const int fd = next_fd_++;
+    fd_table_[fd] = FdState{path, 0};
+    return fd;
+  }
+  struct FdState {
+    std::string path;
+    std::int64_t offset = 0;
+  };
+  [[nodiscard]] FdState& fd_state(int fd);
+  void release_fd(int fd) { fd_table_.erase(fd); }
+
+ private:
+  std::uint64_t pid_;
+  Micros wallclock_base_;
+  std::string host_;
+  Xoshiro256 data_rng_;
+  Xoshiro256 meta_rng_;
+  int next_fd_ = 3;
+  std::map<int, FdState> fd_table_;
+  std::vector<strace::RawRecord> records_;
+};
+
+/// Shared simulated I/O system (one per experiment run). The `seed`
+/// parameter is the base from which callers derive per-process seeds;
+/// the system itself draws no randomness (jitter lives in the
+/// per-process streams).
+class IoSystem {
+ public:
+  IoSystem(des::Simulator& sim, CostModel model, std::uint64_t seed)
+      : sim_(sim), model_(model), base_seed_(seed), mds_(sim, model.mds_capacity) {}
+
+  [[nodiscard]] std::uint64_t base_seed() const { return base_seed_; }
+
+  [[nodiscard]] des::Simulator& sim() { return sim_; }
+  [[nodiscard]] VirtualFs& fs() { return fs_; }
+  [[nodiscard]] const CostModel& model() const { return model_; }
+
+  /// openat(AT_FDCWD, path, flags). `create` pays the MDS create cost
+  /// on the first open; opening an inode other processes hold open
+  /// pays token revocation per opener. Returns the new fd.
+  des::Proc<int> sys_openat(ProcessContext& proc, std::string path, bool create);
+
+  /// read/write at the fd's current offset (advances it).
+  des::Proc<std::int64_t> sys_read(ProcessContext& proc, int fd, std::int64_t bytes);
+  des::Proc<std::int64_t> sys_write(ProcessContext& proc, int fd, std::int64_t bytes);
+
+  /// Positioned variants (MPI-IO path): no offset state touched.
+  des::Proc<std::int64_t> sys_pread64(ProcessContext& proc, int fd, std::int64_t bytes,
+                                      std::int64_t offset);
+  des::Proc<std::int64_t> sys_pwrite64(ProcessContext& proc, int fd, std::int64_t bytes,
+                                       std::int64_t offset);
+
+  des::Proc<void> sys_lseek(ProcessContext& proc, int fd, std::int64_t offset);
+  /// Metadata query (newfstatat); returns 0 or -1 (ENOENT).
+  des::Proc<std::int64_t> sys_stat(ProcessContext& proc, std::string path);
+  /// Removes the file through the metadata server (unlinkat).
+  des::Proc<void> sys_unlink(ProcessContext& proc, std::string path);
+  des::Proc<void> sys_fsync(ProcessContext& proc, int fd);
+  des::Proc<void> sys_close(ProcessContext& proc, int fd);
+
+ private:
+  /// Jittered service time from the given per-process stream,
+  /// >= small_io_floor_us, plus the per-syscall ptrace-stop overhead.
+  [[nodiscard]] des::SimTime service(Xoshiro256& rng, double base_us) const;
+
+  void emit(ProcessContext& proc, des::SimTime start, const std::string& call, std::string args,
+            std::int64_t retval, const std::string& path);
+
+  des::Simulator& sim_;
+  CostModel model_;
+  VirtualFs fs_;
+  std::uint64_t base_seed_;
+  des::Resource mds_;
+};
+
+}  // namespace st::iosim

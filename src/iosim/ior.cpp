@@ -1,0 +1,266 @@
+#include "iosim/ior.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "des/resource.hpp"
+#include "des/simulator.hpp"
+#include "iosim/engine.hpp"
+#include "model/from_strace.hpp"
+#include "model/query.hpp"
+#include "strace/writer.hpp"
+#include "support/errors.hpp"
+
+namespace st::iosim {
+
+std::string IorOptions::command_line() const {
+  std::string cmd = "srun -n " + std::to_string(num_ranks) + " ./strace.sh ./ior";
+  cmd += " -t " + std::to_string(transfer_size >> 20) + "m";
+  cmd += " -b " + std::to_string(block_size >> 20) + "m";
+  cmd += " -s " + std::to_string(segments);
+  if (do_write) cmd += " -w";
+  if (do_read) cmd += " -r";
+  if (reorder_tasks) cmd += " -C";
+  if (fsync_after_write) cmd += " -e";
+  if (keep_files) cmd += " -k";
+  if (file_per_process) cmd += " -F";
+  if (api == Api::Mpiio) cmd += " -a mpiio";
+  cmd += " -o " + test_file;
+  return cmd;
+}
+
+std::string IorOptions::file_for_rank(int rank) const {
+  if (!file_per_process) return test_file;
+  std::array<char, 16> suffix{};
+  std::snprintf(suffix.data(), suffix.size(), ".%08d", rank);
+  return test_file + suffix.data();
+}
+
+int IorOptions::read_peer(int rank) const {
+  if (!reorder_tasks) return rank;
+  return (rank + ranks_per_node) % num_ranks;
+}
+
+model::EventLog TraceSet::to_event_log() const {
+  model::EventLog log;
+  for (const RankTrace& t : traces) {
+    log.add_case(model::case_from_records(t.id, t.records));
+  }
+  return log;
+}
+
+void TraceSet::write_files(const std::string& dir) const {
+  std::filesystem::create_directories(dir);
+  for (const RankTrace& t : traces) {
+    const std::string path = dir + "/" + strace::format_trace_filename(t.id);
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) throw IoError("cannot create trace file: " + path);
+    out << strace::format_trace_interleaved(t.records);
+  }
+}
+
+namespace {
+
+/// Software stack files loaded during startup (the $SOFTWARE reads and
+/// lseeks of Fig. 8a / Fig. 9).
+const std::vector<std::string>& startup_libs() {
+  static const std::vector<std::string> kLibs = {
+      "/p/software/mpi/lib/libmpi.so.40",
+      "/p/software/compiler/lib/libstdc++.so.6",
+      "/p/software/tools/lib/libior-aiori.so",
+  };
+  return kLibs;
+}
+
+des::Proc<void> startup_phase(IoSystem& io, ProcessContext& proc, const IorOptions& opt,
+                              int rank, const std::string& host) {
+  // Shared libraries: open, header read, seek to sections, bulk reads.
+  for (const std::string& lib : startup_libs()) {
+    const int fd = co_await io.sys_openat(proc, lib, /*create=*/false);
+    co_await io.sys_read(proc, fd, 832);  // ELF header probe
+    co_await io.sys_lseek(proc, fd, 4096);
+    for (int i = 0; i < 8; ++i) co_await io.sys_read(proc, fd, 2048);
+    co_await io.sys_close(proc, fd);
+  }
+  // $HOME configuration.
+  const int cfg = co_await io.sys_openat(proc, "/p/home/user/.ior.conf", /*create=*/false);
+  co_await io.sys_read(proc, cfg, 1024);
+  co_await io.sys_close(proc, cfg);
+  // Node-local MPI shared-memory segment (the "Node Local" writes).
+  const std::string shm = "/dev/shm/mpi_shmem_" + host + "_" + std::to_string(rank);
+  const int shm_fd = co_await io.sys_openat(proc, shm, /*create=*/true);
+  co_await io.sys_lseek(proc, shm_fd, 0);
+  for (int i = 0; i < 65; ++i) co_await io.sys_write(proc, shm_fd, 66000);
+  co_await io.sys_close(proc, shm_fd);
+  (void)opt;
+}
+
+/// Offset of transfer `x` of segment `seg` for `rank` (IOR layout,
+/// Fig. 7a). In FPP mode each file only holds the rank's own blocks.
+std::int64_t transfer_offset(const IorOptions& opt, int rank, int seg, int x) {
+  const std::int64_t in_block = static_cast<std::int64_t>(x) * opt.transfer_size;
+  if (opt.file_per_process) {
+    return static_cast<std::int64_t>(seg) * opt.block_size + in_block;
+  }
+  const std::int64_t segment_bytes = static_cast<std::int64_t>(opt.num_ranks) * opt.block_size;
+  return static_cast<std::int64_t>(seg) * segment_bytes +
+         static_cast<std::int64_t>(rank) * opt.block_size + in_block;
+}
+
+/// One simulated traced process: thread 0 of a rank performs the
+/// startup phase; all threads share the rank's transfers round-robin
+/// ((seg * transfers_per_block + x) % threads_per_rank == thread).
+/// The barrier spans num_ranks x threads_per_rank participants and
+/// every thread arrives the same number of times.
+des::Proc<void> thread_process(IoSystem& io, ProcessContext& proc, const IorOptions& opt,
+                               int rank, int thread, const std::string& host,
+                               des::Barrier& barrier) {
+  if (opt.simulate_startup && thread == 0) {
+    co_await startup_phase(io, proc, opt, rank, host);
+  }
+  co_await barrier.arrive();
+
+  const auto mine = [&](int seg, int x) {
+    return (seg * opt.transfers_per_block() + x) % opt.threads_per_rank == thread;
+  };
+
+  // -- write phase ----------------------------------------------------
+  if (opt.do_write) {
+    const std::string file = opt.file_for_rank(rank);
+    const int fd = co_await io.sys_openat(proc, file, /*create=*/true);
+    // IOR synchronizes after the open before timing the write phase;
+    // this is also what makes all ranks' writes overlap (and contend)
+    // on the shared file.
+    co_await barrier.arrive();
+    bool wrote = false;
+    for (int seg = 0; seg < opt.segments; ++seg) {
+      for (int x = 0; x < opt.transfers_per_block(); ++x) {
+        if (!mine(seg, x)) continue;
+        const std::int64_t offset = transfer_offset(opt, rank, seg, x);
+        if (opt.api == IorOptions::Api::Posix) {
+          co_await io.sys_lseek(proc, fd, offset);
+          co_await io.sys_write(proc, fd, opt.transfer_size);
+        } else {
+          co_await io.sys_pwrite64(proc, fd, opt.transfer_size, offset);
+        }
+        wrote = true;
+      }
+    }
+    if (opt.fsync_after_write && wrote) co_await io.sys_fsync(proc, fd);
+    co_await io.sys_close(proc, fd);
+  }
+  co_await barrier.arrive();
+
+  // -- read phase (-C: read the neighbour node's data) ----------------
+  if (opt.do_read) {
+    const int peer = opt.read_peer(rank);
+    const std::string file = opt.file_for_rank(peer);
+    const int fd = co_await io.sys_openat(proc, file, /*create=*/false);
+    co_await barrier.arrive();
+    for (int seg = 0; seg < opt.segments; ++seg) {
+      for (int x = 0; x < opt.transfers_per_block(); ++x) {
+        if (!mine(seg, x)) continue;
+        const std::int64_t offset = transfer_offset(opt, peer, seg, x);
+        if (opt.api == IorOptions::Api::Posix) {
+          co_await io.sys_lseek(proc, fd, offset);
+          co_await io.sys_read(proc, fd, opt.transfer_size);
+        } else {
+          co_await io.sys_pread64(proc, fd, opt.transfer_size, offset);
+        }
+      }
+    }
+    co_await io.sys_close(proc, fd);
+  }
+  co_await barrier.arrive();
+
+  // -- cleanup (no -k): rank 0 removes the test file(s) ----------------
+  if (!opt.keep_files && rank == 0 && thread == 0) {
+    if (opt.file_per_process) {
+      for (int r = 0; r < opt.num_ranks; ++r) {
+        co_await io.sys_unlink(proc, opt.file_for_rank(r));
+      }
+    } else {
+      co_await io.sys_unlink(proc, opt.test_file);
+    }
+  }
+}
+
+}  // namespace
+
+TraceSet run_ior(const IorOptions& options, const CostModel& model) {
+  if (options.num_ranks <= 0) throw LogicError("IOR: num_ranks must be positive");
+  if (options.ranks_per_node <= 0) throw LogicError("IOR: ranks_per_node must be positive");
+  if (options.block_size % options.transfer_size != 0) {
+    throw LogicError("IOR: block_size must be a multiple of transfer_size");
+  }
+
+  if (options.threads_per_rank <= 0) throw LogicError("IOR: threads_per_rank must be positive");
+
+  des::Simulator sim;
+  IoSystem io(sim, model, options.seed);
+  const int threads = options.threads_per_rank;
+  des::Barrier barrier(sim, static_cast<std::size_t>(options.num_ranks) *
+                                static_cast<std::size_t>(threads));
+
+  // contexts[rank * threads + thread]; one trace file per rank merges
+  // all of its children's records, exactly as strace -f -o does.
+  std::vector<std::unique_ptr<ProcessContext>> contexts;
+  std::vector<std::string> hosts;
+  contexts.reserve(static_cast<std::size_t>(options.num_ranks) *
+                   static_cast<std::size_t>(threads));
+  // Per-process seeds derive from (seed, rank, thread) only — NOT from
+  // cid/rid — so paired runs (e.g. POSIX vs MPI-IO with the same seed)
+  // draw common random numbers per process (variance-free comparisons).
+  SplitMix64 seeder(options.seed);
+  for (int rank = 0; rank < options.num_ranks; ++rank) {
+    const int node = rank / options.ranks_per_node;
+    hosts.push_back("node" + std::to_string(node + 1));
+    const std::uint64_t rid = options.base_rid + static_cast<std::uint64_t>(rank);
+    for (int t = 0; t < threads; ++t) {
+      // The MPI launcher forks the traced command; pid != rid (Sec. III).
+      contexts.push_back(std::make_unique<ProcessContext>(
+          rid + 12 + static_cast<std::uint64_t>(t), options.wallclock_base, seeder.next(),
+          hosts.back()));
+    }
+  }
+  for (int rank = 0; rank < options.num_ranks; ++rank) {
+    for (int t = 0; t < threads; ++t) {
+      const auto idx = static_cast<std::size_t>(rank * threads + t);
+      sim.spawn(thread_process(io, *contexts[idx], options, rank, t,
+                               hosts[static_cast<std::size_t>(rank)], barrier));
+    }
+  }
+  sim.run();
+
+  TraceSet out;
+  out.traces.reserve(static_cast<std::size_t>(options.num_ranks));
+  for (int rank = 0; rank < options.num_ranks; ++rank) {
+    RankTrace t;
+    t.id = strace::TraceFileId{options.cid, hosts[static_cast<std::size_t>(rank)],
+                               options.base_rid + static_cast<std::uint64_t>(rank)};
+    for (int thread = 0; thread < threads; ++thread) {
+      const auto idx = static_cast<std::size_t>(rank * threads + thread);
+      auto recs = contexts[idx]->take_records();
+      t.records.insert(t.records.end(), std::make_move_iterator(recs.begin()),
+                       std::make_move_iterator(recs.end()));
+    }
+    std::stable_sort(t.records.begin(), t.records.end(),
+                     [](const strace::RawRecord& a, const strace::RawRecord& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+    out.traces.push_back(std::move(t));
+  }
+  return out;
+}
+
+model::EventLog filter_call_families(const model::EventLog& log,
+                                     const std::vector<std::string>& families) {
+  // "read" matches read, pread64, readv, preadv2, ...; "write"
+  // likewise; exact names (lseek, openat) match themselves.
+  return model::Query().calls(families).apply(log);
+}
+
+}  // namespace st::iosim

@@ -1,0 +1,107 @@
+// IOR-compatible workload engine (paper Sec. V, Fig. 7).
+//
+// Reproduces the benchmark's access pattern:
+//   - each rank writes `segments` segments; a segment holds one block
+//     per rank; a block is written in block_size/transfer_size
+//     transfers (-s / -b / -t),
+//   - SSF mode interleaves all ranks' blocks in one shared file; FPP
+//     (-F) gives each rank its own file "<test_file>.<rank 8 digits>",
+//   - -C makes each rank read back the data written by the rank one
+//     node away (defeats the page cache in the real experiment),
+//   - -e fsyncs after the write phase,
+//   - the POSIX API issues lseek+read/write per transfer; the MPI-IO
+//     API (-a mpiio) issues pread64/pwrite64 (the naive replacement
+//     the paper analyses in Fig. 9),
+//   - an optional startup phase models what the real binary does
+//     before I/O testing: loading shared libraries from $SOFTWARE,
+//     reading configuration from $HOME and writing MPI shared-memory
+//     segments under /dev/shm (the "Node Local" activities of Fig. 8a).
+//
+// Ranks run as DES processes synchronized by barriers; every rank
+// records its own strace-format trace, exactly like `srun -n N
+// strace ...` in Fig. 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "iosim/cost_model.hpp"
+#include "model/event_log.hpp"
+#include "strace/filename.hpp"
+#include "strace/record.hpp"
+
+namespace st::iosim {
+
+struct IorOptions {
+  std::int64_t transfer_size = 1 << 20;  ///< -t (bytes)
+  std::int64_t block_size = 16 << 20;    ///< -b (bytes)
+  int segments = 3;                      ///< -s
+  bool do_write = true;                  ///< -w
+  bool do_read = true;                   ///< -r
+  bool reorder_tasks = true;             ///< -C
+  bool fsync_after_write = true;         ///< -e
+  /// IOR removes its test files when done unless -k is given; rank 0
+  /// (thread 0) issues the unlinkat calls after the read phase.
+  bool keep_files = false;               ///< -k
+  bool file_per_process = false;         ///< -F
+  enum class Api { Posix, Mpiio };
+  Api api = Api::Posix;                  ///< -a posix|mpiio
+  std::string test_file = "/p/scratch/ssf/test";  ///< -o
+
+  int num_ranks = 96;
+  int ranks_per_node = 48;
+  /// Child processes forked per rank (SMT / multi-threaded mode,
+  /// Sec. III). With > 1, each rank's transfers are divided among its
+  /// children; their overlapping calls appear in the rank's trace file
+  /// as <unfinished ...> / <... resumed> pairs (Fig. 2c), exercising
+  /// the ResumeMerger path end to end.
+  int threads_per_rank = 1;
+  std::string cid = "s";            ///< command id for the trace files
+  std::uint64_t base_rid = 9000;    ///< rid of rank 0; rank i gets base_rid + i
+  Micros wallclock_base = 10LL * 3600 * kMicrosPerSecond;  ///< 10:00:00
+  std::uint64_t seed = 42;
+  bool simulate_startup = true;
+
+  /// Number of transfers per block (-b / -t).
+  [[nodiscard]] int transfers_per_block() const {
+    return static_cast<int>(block_size / transfer_size);
+  }
+
+  /// The equivalent command line (Fig. 7b).
+  [[nodiscard]] std::string command_line() const;
+
+  /// Data file accessed by `rank` ("test" or "test.00000007").
+  [[nodiscard]] std::string file_for_rank(int rank) const;
+
+  /// Rank whose data this rank reads back (-C: one node away).
+  [[nodiscard]] int read_peer(int rank) const;
+};
+
+/// One rank's recorded trace.
+struct RankTrace {
+  strace::TraceFileId id;
+  std::vector<strace::RawRecord> records;
+};
+
+/// All traces of one simulated run.
+struct TraceSet {
+  std::vector<RankTrace> traces;
+
+  /// Converts to the event model (one case per rank).
+  [[nodiscard]] model::EventLog to_event_log() const;
+
+  /// Writes cid_host_rid.st text files into `dir` (created if needed).
+  void write_files(const std::string& dir) const;
+};
+
+/// Runs the full simulated IOR job; deterministic for fixed options.
+[[nodiscard]] TraceSet run_ior(const IorOptions& options, const CostModel& model = {});
+
+/// Keeps only events whose call is one of the given families
+/// ("read" also matches pread64/readv/..., mirroring the paper's
+/// "variants of read" trace selection).
+[[nodiscard]] model::EventLog filter_call_families(const model::EventLog& log,
+                                                   const std::vector<std::string>& families);
+
+}  // namespace st::iosim

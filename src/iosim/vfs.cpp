@@ -1,0 +1,19 @@
+#include "iosim/vfs.hpp"
+
+namespace st::iosim {
+
+Inode& VirtualFs::inode(const std::string& path) {
+  auto& slot = inodes_[path];
+  if (!slot) {
+    slot = std::make_unique<Inode>();
+    slot->path = path;
+  }
+  return *slot;
+}
+
+const Inode* VirtualFs::find(const std::string& path) const {
+  const auto it = inodes_.find(path);
+  return it == inodes_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace st::iosim

@@ -1,0 +1,63 @@
+// Virtual file system: path -> inode state shared by all simulated
+// processes. Tracks exactly what the cost model needs — existence,
+// size, how many processes hold the file open, and how many are
+// concurrently inside read/write calls on it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+namespace st::iosim {
+
+struct Inode {
+  std::string path;
+  std::int64_t size = 0;
+  bool exists = false;
+  std::size_t openers = 0;          ///< processes holding an open fd
+  std::size_t active_writers = 0;   ///< processes inside a write call
+  std::size_t active_readers = 0;   ///< processes inside a read call
+  std::int64_t dirty_bytes = 0;     ///< unsynced bytes (fsync cost)
+  /// Per-host page cache at block granularity: cached_blocks[host]
+  /// holds the indices (offset / cache_block_bytes) a host's DRAM
+  /// caches after writing them. A read is cache-fast only when every
+  /// block it touches is cached on the reading host — which is why
+  /// IOR's -C (read the neighbour node's offsets) defeats the cache
+  /// even on a single shared file.
+  std::map<std::string, std::set<std::int64_t>> cached_blocks;
+
+  void mark_cached(const std::string& host, std::int64_t offset, std::int64_t bytes,
+                   std::int64_t block_bytes) {
+    auto& blocks = cached_blocks[host];
+    for (std::int64_t b = offset / block_bytes; b * block_bytes < offset + bytes; ++b) {
+      blocks.insert(b);
+    }
+  }
+
+  [[nodiscard]] bool is_cached(const std::string& host, std::int64_t offset, std::int64_t bytes,
+                               std::int64_t block_bytes) const {
+    const auto it = cached_blocks.find(host);
+    if (it == cached_blocks.end()) return false;
+    for (std::int64_t b = offset / block_bytes; b * block_bytes < offset + bytes; ++b) {
+      if (!it->second.contains(b)) return false;
+    }
+    return true;
+  }
+};
+
+class VirtualFs {
+ public:
+  /// Finds or creates the inode record (creation does not mark the
+  /// file as existing — that happens on the first open-for-create).
+  [[nodiscard]] Inode& inode(const std::string& path);
+
+  [[nodiscard]] const Inode* find(const std::string& path) const;
+  [[nodiscard]] std::size_t file_count() const { return inodes_.size(); }
+
+ private:
+  std::map<std::string, std::unique_ptr<Inode>> inodes_;
+};
+
+}  // namespace st::iosim

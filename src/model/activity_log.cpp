@@ -1,0 +1,24 @@
+#include "model/activity_log.hpp"
+
+namespace st::model {
+
+ActivityLog ActivityLog::build(const EventLog& log, const Mapping& f) {
+  ActivityLog out;
+  for (const Case& c : log.cases()) {
+    ActivityTrace trace;
+    trace.reserve(c.size());
+    for (const Event& e : c.events()) {
+      if (auto a = f(e)) {
+        out.activities_.insert(*a);
+        trace.push_back(std::move(*a));
+      }
+    }
+    out.total_instances_ += trace.size();
+    out.per_case_.emplace(c.id(), trace);
+    ++out.variants_[std::move(trace)];
+    ++out.case_count_;
+  }
+  return out;
+}
+
+}  // namespace st::model

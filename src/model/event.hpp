@@ -1,0 +1,62 @@
+// The event model of Sec. III/IV (Eq. 1):
+//
+//   e = [cid, host, rid, pid, call, start, dur, fp, size]
+//
+// cid/host/rid come from the trace-file name, the rest from the strace
+// record. A Case is the time-ordered event sequence of one trace file
+// (Eq. 2); the CaseId (cid, host, rid) identifies it uniquely.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "support/timeparse.hpp"
+
+namespace st::model {
+
+struct Event {
+  std::string cid;   ///< command identifier (from the trace file name)
+  std::string host;  ///< host machine name
+  std::uint64_t rid = 0;  ///< launching (MPI) process id
+  std::uint64_t pid = 0;  ///< pid executing the system call (-f)
+  std::string call;       ///< system call name
+  Micros start = 0;       ///< wall-clock start, microseconds of day (-tt)
+  Micros dur = 0;         ///< duration in microseconds (-T)
+  std::string fp;         ///< accessed file path (-y)
+  std::int64_t size = -1; ///< bytes transferred (return value); -1 if n/a
+
+  [[nodiscard]] Micros end() const { return start + dur; }
+  [[nodiscard]] bool has_size() const { return size >= 0; }
+
+  [[nodiscard]] bool operator==(const Event&) const = default;
+};
+
+/// Identity of a case: one trace file == one case (paper Sec. IV).
+struct CaseId {
+  std::string cid;
+  std::string host;
+  std::uint64_t rid = 0;
+
+  [[nodiscard]] bool operator==(const CaseId&) const = default;
+  [[nodiscard]] auto operator<=>(const CaseId&) const = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return cid + "_" + host + "_" + std::to_string(rid);
+  }
+};
+
+}  // namespace st::model
+
+template <>
+struct std::hash<st::model::CaseId> {
+  std::size_t operator()(const st::model::CaseId& id) const noexcept {
+    const std::size_t h1 = std::hash<std::string>{}(id.cid);
+    const std::size_t h2 = std::hash<std::string>{}(id.host);
+    const std::size_t h3 = std::hash<std::uint64_t>{}(id.rid);
+    std::size_t h = h1;
+    h = h * 0x9E3779B97F4A7C15ULL + h2;
+    h = h * 0x9E3779B97F4A7C15ULL + h3;
+    return h;
+  }
+};

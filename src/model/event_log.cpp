@@ -1,0 +1,82 @@
+#include "model/event_log.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/errors.hpp"
+#include "support/strings.hpp"
+
+namespace st::model {
+
+Case::Case(CaseId id, std::vector<Event> events) : id_(std::move(id)), events_(std::move(events)) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const Event& a, const Event& b) { return a.start < b.start; });
+}
+
+Case Case::filtered(const std::function<bool(const Event&)>& pred) const {
+  std::vector<Event> kept;
+  kept.reserve(events_.size());
+  for (const Event& e : events_) {
+    if (pred(e)) kept.push_back(e);
+  }
+  return Case(id_, std::move(kept));
+}
+
+std::size_t EventLog::total_events() const {
+  std::size_t n = 0;
+  for (const auto& c : cases_) n += c.size();
+  return n;
+}
+
+const Case* EventLog::find_case(const CaseId& id) const {
+  for (const auto& c : cases_) {
+    if (c.id() == id) return &c;
+  }
+  return nullptr;
+}
+
+EventLog EventLog::filter_fp(std::string_view substr) const {
+  return filter_events([substr = std::string(substr)](const Event& e) {
+    return contains(e.fp, substr);
+  });
+}
+
+EventLog EventLog::filter_events(const std::function<bool(const Event&)>& pred) const {
+  EventLog out;
+  for (const auto& c : cases_) out.add_case(c.filtered(pred));
+  return out;
+}
+
+EventLog EventLog::filter_cases(const std::function<bool(const Case&)>& pred) const {
+  EventLog out;
+  for (const auto& c : cases_) {
+    if (pred(c)) out.add_case(c);
+  }
+  return out;
+}
+
+std::pair<EventLog, EventLog> EventLog::partition(
+    const std::function<bool(const Case&)>& pred) const {
+  EventLog green;
+  EventLog red;
+  for (const auto& c : cases_) {
+    (pred(c) ? green : red).add_case(c);
+  }
+  return {std::move(green), std::move(red)};
+}
+
+EventLog EventLog::merge(const EventLog& a, const EventLog& b) {
+  EventLog out;
+  std::unordered_set<CaseId> seen;
+  for (const auto* log : {&a, &b}) {
+    for (const auto& c : log->cases()) {
+      if (!seen.insert(c.id()).second) {
+        throw LogicError("EventLog::merge: duplicate case " + c.id().to_string());
+      }
+      out.add_case(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace st::model

@@ -1,0 +1,82 @@
+// Case and EventLog: the process-mining view of a set of trace files.
+//
+//   Case      c  = <e1, e2, ... en>   events ordered by start timestamp
+//   EventLog  C  = {c1, ..., cn}      the set of cases (Sec. IV)
+//
+// EventLog supports the operations the paper's Python API exposes:
+// file-path filtering (apply_fp_filter), generic event filtering,
+// case-level partitioning (PartitionEL, used by partition coloring)
+// and union (Cx = Ca ∪ Cb).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "model/event.hpp"
+
+namespace st::model {
+
+class Case {
+ public:
+  Case() = default;
+
+  /// Takes ownership of `events` and stable-sorts them by start
+  /// timestamp (ties keep input order, matching the paper's "start of
+  /// e_i is less than or equal to that of e_{i+1}").
+  Case(CaseId id, std::vector<Event> events);
+
+  [[nodiscard]] const CaseId& id() const { return id_; }
+  [[nodiscard]] std::span<const Event> events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+  /// New case containing only events satisfying `pred` (order kept).
+  [[nodiscard]] Case filtered(const std::function<bool(const Event&)>& pred) const;
+
+ private:
+  CaseId id_;
+  std::vector<Event> events_;
+};
+
+class EventLog {
+ public:
+  EventLog() = default;
+  explicit EventLog(std::vector<Case> cases) : cases_(std::move(cases)) {}
+
+  void add_case(Case c) { cases_.push_back(std::move(c)); }
+
+  [[nodiscard]] std::span<const Case> cases() const { return cases_; }
+  [[nodiscard]] std::size_t case_count() const { return cases_.size(); }
+  [[nodiscard]] std::size_t total_events() const;
+  [[nodiscard]] const Case* find_case(const CaseId& id) const;
+
+  /// Keeps only events whose file path contains `substr` (the paper's
+  /// apply_fp_filter). Cases that become empty are kept (a case with no
+  /// matching events contributes an empty trace).
+  [[nodiscard]] EventLog filter_fp(std::string_view substr) const;
+
+  /// Generic event-level filter.
+  [[nodiscard]] EventLog filter_events(const std::function<bool(const Event&)>& pred) const;
+
+  /// Keeps only cases satisfying `pred`.
+  [[nodiscard]] EventLog filter_cases(const std::function<bool(const Case&)>& pred) const;
+
+  /// Splits cases into (matching, rest) — the G/R partition of
+  /// Sec. IV-C.
+  [[nodiscard]] std::pair<EventLog, EventLog> partition(
+      const std::function<bool(const Case&)>& pred) const;
+
+  /// Union of two event logs (Cx = Ca ∪ Cb). Cases are concatenated;
+  /// duplicate CaseIds are rejected with LogicError because no two
+  /// events (and hence cases) may be identical (Sec. IV).
+  [[nodiscard]] static EventLog merge(const EventLog& a, const EventLog& b);
+
+ private:
+  std::vector<Case> cases_;
+};
+
+}  // namespace st::model

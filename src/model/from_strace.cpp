@@ -1,0 +1,53 @@
+#include "model/from_strace.hpp"
+
+#include "parallel/algorithms.hpp"
+#include "parallel/thread_pool.hpp"
+#include "strace/reader.hpp"
+#include "support/errors.hpp"
+
+namespace st::model {
+
+std::optional<Event> event_from_record(const strace::TraceFileId& id,
+                                       const strace::RawRecord& rec) {
+  if (rec.kind != strace::RecordKind::Complete) return std::nullopt;
+  Event e;
+  e.cid = id.cid;
+  e.host = id.host;
+  e.rid = id.rid;
+  e.pid = rec.pid;
+  e.call = rec.call;
+  e.start = rec.timestamp;
+  e.dur = rec.duration.value_or(0);
+  e.fp = rec.path;
+  // Transfer size: return value, and only for data-moving calls
+  // (Sec. III rule 6). Failed calls carry no size.
+  if (rec.is_data_transfer() && rec.retval && *rec.retval >= 0) {
+    e.size = *rec.retval;
+  } else {
+    e.size = -1;
+  }
+  return e;
+}
+
+Case case_from_records(const strace::TraceFileId& id,
+                       const std::vector<strace::RawRecord>& records) {
+  std::vector<Event> events;
+  events.reserve(records.size());
+  for (const auto& rec : records) {
+    if (auto e = event_from_record(id, rec)) events.push_back(std::move(*e));
+  }
+  return Case(CaseId{id.cid, id.host, id.rid}, std::move(events));
+}
+
+EventLog event_log_from_files(const std::vector<std::string>& paths, std::size_t threads) {
+  ThreadPool pool(threads);
+  auto cases = parallel_map(pool, paths, [](const std::string& path) {
+    const auto id = strace::parse_trace_filename(path);
+    if (!id) throw ParseError("trace file name does not follow cid_host_rid.st: " + path);
+    const auto result = strace::read_trace_file(path);
+    return case_from_records(*id, result.records);
+  });
+  return EventLog(std::move(cases));
+}
+
+}  // namespace st::model

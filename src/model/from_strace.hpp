@@ -1,0 +1,36 @@
+// Bridge from the strace substrate to the event model: applies the
+// attribute extraction rules of Sec. III to raw records.
+//
+//   - cid/host/rid come from the trace file name,
+//   - size is parsed only for read/write variants, from the return
+//     value (bytes actually transferred, not bytes requested),
+//   - records without a duration get dur = 0,
+//   - failed calls (retval < 0) carry size -1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/event_log.hpp"
+#include "strace/filename.hpp"
+#include "strace/record.hpp"
+
+namespace st::model {
+
+/// Converts one record. Returns nullopt for non-syscall records
+/// (signals/exits) — these are not events.
+[[nodiscard]] std::optional<Event> event_from_record(const strace::TraceFileId& id,
+                                                     const strace::RawRecord& rec);
+
+/// Builds the case for one trace file's records (sorted by start).
+[[nodiscard]] Case case_from_records(const strace::TraceFileId& id,
+                                     const std::vector<strace::RawRecord>& records);
+
+/// Reads a set of trace files from disk into an event log. File names
+/// must follow the cid_host_rid.st convention; files that do not parse
+/// as such throw ParseError. Parsing of the file set is parallelized
+/// over `threads` workers (0 = hardware concurrency).
+[[nodiscard]] EventLog event_log_from_files(const std::vector<std::string>& paths,
+                                            std::size_t threads = 0);
+
+}  // namespace st::model

@@ -1,0 +1,115 @@
+// Mapping f : E ⇀ A — the partial function from events to activities
+// (paper Sec. IV). A mapping both *abstracts* (many events -> one
+// activity name) and *queries* (events mapped to nullopt are excluded
+// from the activity trace), exactly the dual role the paper describes:
+// "an activity-log can be seen as a query and an abstraction applied
+// to an event-log through the mapping f".
+//
+// Activities are strings; composite activities produced by the built-in
+// factories use '\n' between the call name and the path abstraction
+// ("read\n/usr/lib"), which renders as a two-line node label in DOT —
+// the visual style of the paper's figures.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "model/event.hpp"
+
+namespace st::model {
+
+using Activity = std::string;
+
+/// Site-specific path abstraction used by the IOR experiments (f-bar):
+/// longest-prefix match of the file path against named site prefixes
+/// ("$SCRATCH", "$HOME", "$SOFTWARE"); anything unmatched falls back to
+/// `default_label` ("Node Local" in the paper's figures).
+class SitePathMap {
+ public:
+  SitePathMap() = default;
+  explicit SitePathMap(std::string default_label) : default_label_(std::move(default_label)) {}
+
+  /// Registers prefix -> label ("/p/scratch" -> "$SCRATCH"). Longest
+  /// prefix wins regardless of registration order.
+  void add_prefix(std::string prefix, std::string label);
+
+  /// Result of matching a path against the registered prefixes.
+  struct Match {
+    std::string label;            ///< site label or default label
+    std::string_view remainder;   ///< path after the matched prefix ("" if default)
+    bool matched = false;         ///< false when the default label applied
+  };
+  [[nodiscard]] Match match(std::string_view fp) const;
+
+  [[nodiscard]] std::string abstract(std::string_view fp) const;
+  [[nodiscard]] const std::string& default_label() const { return default_label_; }
+
+  /// The JUWELS-like layout used by our IOR reproduction:
+  ///   /p/scratch   -> $SCRATCH      /p/home     -> $HOME
+  ///   /p/software  -> $SOFTWARE     /usr, /etc, /dev, /proc, /tmp -> Node Local
+  [[nodiscard]] static SitePathMap juwels_like();
+
+ private:
+  std::vector<std::pair<std::string, std::string>> prefixes_;
+  std::string default_label_ = "Node Local";
+};
+
+class Mapping {
+ public:
+  using Fn = std::function<std::optional<Activity>(const Event&)>;
+
+  Mapping() = default;
+  Mapping(std::string name, Fn fn) : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  /// Applies the partial function. nullopt == event not mapped.
+  [[nodiscard]] std::optional<Activity> operator()(const Event& e) const {
+    return fn_ ? fn_(e) : std::nullopt;
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool valid() const { return static_cast<bool>(fn_); }
+
+  // -- composition ---------------------------------------------------
+
+  /// Restricts the mapping to events whose fp contains `substr`
+  /// (e.g. the "/usr/lib" query of Fig. 4).
+  [[nodiscard]] Mapping filtered_fp(std::string_view substr) const;
+
+  /// Restricts the mapping with an arbitrary predicate.
+  [[nodiscard]] Mapping filtered(std::string name,
+                                 std::function<bool(const Event&)> pred) const;
+
+  // -- factories -----------------------------------------------------
+
+  /// f-hat (Eq. 4): "call\n" + fp truncated to its top `levels`
+  /// directories. Example: read of /usr/lib/x/libc.so -> "read\n/usr/lib".
+  [[nodiscard]] static Mapping call_top_dirs(int levels);
+
+  /// Fig. 4 style: "call\n" + last `n` path components
+  /// ("read\nx86_64-linux-gnu/libc.so.6").
+  [[nodiscard]] static Mapping call_last_components(int n);
+
+  /// Activity = call name only.
+  [[nodiscard]] static Mapping call_only();
+
+  /// f-bar (Sec. V): "call\n" + site abstraction of the path, with the
+  /// site map applied at `extra_levels` below a matched prefix so that
+  /// "$SCRATCH/ssf" vs "$SCRATCH/fpp" can be distinguished when
+  /// extra_levels == 1 (Fig. 8b) or collapsed when 0 (Fig. 8a).
+  [[nodiscard]] static Mapping call_site(SitePathMap map, int extra_levels = 0);
+
+  /// Fully custom mapping.
+  [[nodiscard]] static Mapping custom(std::string name, Fn fn) {
+    return Mapping(std::move(name), std::move(fn));
+  }
+
+ private:
+  std::string name_;
+  Fn fn_;
+};
+
+}  // namespace st::model

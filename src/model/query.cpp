@@ -1,0 +1,95 @@
+#include "model/query.hpp"
+
+#include "support/strings.hpp"
+
+namespace st::model {
+
+bool call_in_family(const std::string& call, const std::string& family) {
+  return call == family || call == "p" + family + "64" || call == family + "v" ||
+         call == "p" + family + "v" || call == "p" + family + "v2";
+}
+
+Query Query::fp_contains(std::string substr) const {
+  Query q = *this;
+  q.fp_substrings_.push_back(std::move(substr));
+  return q;
+}
+
+Query Query::calls(std::vector<std::string> families) const {
+  Query q = *this;
+  for (auto& f : families) q.call_families_.push_back(std::move(f));
+  return q;
+}
+
+Query Query::between(Micros from, Micros to) const {
+  Query q = *this;
+  q.from_ = from;
+  q.to_ = to;
+  return q;
+}
+
+Query Query::cids(std::set<std::string> cids) const {
+  Query q = *this;
+  q.cids_ = std::move(cids);
+  return q;
+}
+
+Query Query::hosts(std::set<std::string> hosts) const {
+  Query q = *this;
+  q.hosts_ = std::move(hosts);
+  return q;
+}
+
+bool Query::matches(const Event& e) const {
+  for (const auto& needle : fp_substrings_) {
+    if (!contains(e.fp, needle)) return false;
+  }
+  if (!call_families_.empty()) {
+    bool any = false;
+    for (const auto& family : call_families_) {
+      if (call_in_family(e.call, family)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
+  }
+  return e.start >= from_ && e.start < to_;
+}
+
+bool Query::matches_case(const Case& c) const {
+  if (cids_ && !cids_->contains(c.id().cid)) return false;
+  if (hosts_ && !hosts_->contains(c.id().host)) return false;
+  return true;
+}
+
+EventLog Query::apply(const EventLog& log) const {
+  EventLog out;
+  for (const Case& c : log.cases()) {
+    if (!matches_case(c)) continue;
+    out.add_case(c.filtered([this](const Event& e) { return matches(e); }));
+  }
+  return out;
+}
+
+std::string Query::describe() const {
+  std::string out;
+  for (const auto& s : fp_substrings_) out += "fp~" + s + " ";
+  if (!call_families_.empty()) {
+    out += "calls{";
+    for (std::size_t i = 0; i < call_families_.size(); ++i) {
+      out += (i > 0 ? "," : "") + call_families_[i];
+    }
+    out += "} ";
+  }
+  if (from_ != std::numeric_limits<Micros>::min() ||
+      to_ != std::numeric_limits<Micros>::max()) {
+    out += "t[" + std::to_string(from_) + "," + std::to_string(to_) + ") ";
+  }
+  if (cids_) out += "cids(" + std::to_string(cids_->size()) + ") ";
+  if (hosts_) out += "hosts(" + std::to_string(hosts_->size()) + ") ";
+  if (!out.empty()) out.pop_back();
+  return out.empty() ? "all" : out;
+}
+
+}  // namespace st::model

@@ -1,0 +1,71 @@
+// Composable event-log queries.
+//
+// The paper frames the DFG as "a response to a query applied through f
+// on the event-log". This module makes the query side first-class: a
+// Query accumulates independent restrictions — file-path substring,
+// call families, a wall-clock time window, cid selection — and applies
+// them in one pass. Queries are value types; chaining returns a new
+// Query (builder style), so partially-built queries can be shared.
+//
+//   auto q = Query().fp_contains("/p/scratch")
+//                   .calls({"read", "write"})
+//                   .between(t0, t1);
+//   EventLog view = q.apply(log);
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "model/event_log.hpp"
+
+namespace st::model {
+
+class Query {
+ public:
+  /// Keep events whose path contains `substr` (conjunctive with any
+  /// previously added path restriction).
+  [[nodiscard]] Query fp_contains(std::string substr) const;
+
+  /// Keep events whose call belongs to one of the given families.
+  /// A family name matches itself plus its p*/…v variants ("read"
+  /// also matches pread64, readv, preadv, preadv2), mirroring the
+  /// paper's "variants of read" selections.
+  [[nodiscard]] Query calls(std::vector<std::string> families) const;
+
+  /// Keep events with start in [from, to).
+  [[nodiscard]] Query between(Micros from, Micros to) const;
+
+  /// Keep cases with one of the given cids.
+  [[nodiscard]] Query cids(std::set<std::string> cids) const;
+
+  /// Keep cases on one of the given hosts.
+  [[nodiscard]] Query hosts(std::set<std::string> hosts) const;
+
+  /// True iff the event satisfies all event-level restrictions.
+  [[nodiscard]] bool matches(const Event& e) const;
+
+  /// True iff the case satisfies all case-level restrictions.
+  [[nodiscard]] bool matches_case(const Case& c) const;
+
+  /// Applies case restrictions, then event restrictions.
+  [[nodiscard]] EventLog apply(const EventLog& log) const;
+
+  /// Human-readable summary ("fp~/p/scratch calls{read,write}").
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::vector<std::string> fp_substrings_;
+  std::vector<std::string> call_families_;
+  Micros from_ = std::numeric_limits<Micros>::min();
+  Micros to_ = std::numeric_limits<Micros>::max();
+  std::optional<std::set<std::string>> cids_;
+  std::optional<std::set<std::string>> hosts_;
+};
+
+/// True if `call` belongs to `family` (read -> pread64/readv/...).
+[[nodiscard]] bool call_in_family(const std::string& call, const std::string& family);
+
+}  // namespace st::model

@@ -1,0 +1,19 @@
+#include "model/skew.hpp"
+
+#include <vector>
+
+namespace st::model {
+
+EventLog shift_host_clocks(const EventLog& log, const std::map<std::string, Micros>& offsets) {
+  EventLog out;
+  for (const Case& c : log.cases()) {
+    const auto it = offsets.find(c.id().host);
+    const Micros offset = it == offsets.end() ? 0 : it->second;
+    std::vector<Event> events(c.events().begin(), c.events().end());
+    for (Event& e : events) e.start += offset;
+    out.add_case(Case(c.id(), std::move(events)));
+  }
+  return out;
+}
+
+}  // namespace st::model

@@ -1,0 +1,42 @@
+#include "model/variants.hpp"
+
+namespace st::model {
+
+namespace {
+
+double coverage(const std::map<ActivityTrace, std::pair<std::size_t, std::size_t>>& common,
+                const std::map<ActivityTrace, std::size_t>& exclusive, bool green) {
+  std::size_t covered = 0;
+  std::size_t total = 0;
+  for (const auto& [trace, counts] : common) {
+    const std::size_t own = green ? counts.first : counts.second;
+    covered += own;
+    total += own;
+  }
+  for (const auto& [trace, count] : exclusive) total += count;
+  return total == 0 ? 1.0 : static_cast<double>(covered) / static_cast<double>(total);
+}
+
+}  // namespace
+
+double VariantDiff::green_coverage() const { return coverage(common, green_only, true); }
+
+double VariantDiff::red_coverage() const { return coverage(common, red_only, false); }
+
+VariantDiff compare_variants(const ActivityLog& green, const ActivityLog& red) {
+  VariantDiff diff;
+  for (const auto& [trace, count] : green.variants()) {
+    const auto it = red.variants().find(trace);
+    if (it == red.variants().end()) {
+      diff.green_only.emplace(trace, count);
+    } else {
+      diff.common.emplace(trace, std::make_pair(count, it->second));
+    }
+  }
+  for (const auto& [trace, count] : red.variants()) {
+    if (!green.variants().contains(trace)) diff.red_only.emplace(trace, count);
+  }
+  return diff;
+}
+
+}  // namespace st::model

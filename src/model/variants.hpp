@@ -1,0 +1,39 @@
+// Trace-variant comparison of two activity logs.
+//
+// Partition coloring (Sec. IV-C) contrasts run sets at the node/edge
+// level; this extension contrasts them at the *whole-trace* level:
+// which activity sequences occur only in one run set, and with which
+// multiplicities a shared sequence occurs in each. For homogeneous
+// SPMD programs (one variant per run, as in L(Ca) = {⟨…⟩³}) this is a
+// one-line fingerprint of behavioural differences between runs.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "model/activity_log.hpp"
+
+namespace st::model {
+
+struct VariantDiff {
+  /// Variants occurring only in the first (green) log, with counts.
+  std::map<ActivityTrace, std::size_t> green_only;
+  /// Variants occurring only in the second (red) log, with counts.
+  std::map<ActivityTrace, std::size_t> red_only;
+  /// Variants in both: trace -> (green multiplicity, red multiplicity).
+  std::map<ActivityTrace, std::pair<std::size_t, std::size_t>> common;
+
+  [[nodiscard]] bool identical_behaviour() const {
+    return green_only.empty() && red_only.empty();
+  }
+
+  /// Fraction of green cases whose trace also occurs in red, in [0,1];
+  /// 1 when every green case behaves like some red case.
+  [[nodiscard]] double green_coverage() const;
+  [[nodiscard]] double red_coverage() const;
+};
+
+[[nodiscard]] VariantDiff compare_variants(const ActivityLog& green, const ActivityLog& red);
+
+}  // namespace st::model

@@ -1,0 +1,78 @@
+// Parallel bulk algorithms on top of ThreadPool.
+//
+//  - parallel_for: static chunking of an index range,
+//  - parallel_map: element-wise transform preserving input order,
+//  - map_reduce: per-chunk map + associative reduce; this is exactly the
+//    shape used for scalable DFG construction (per-case graphs merged
+//    with an abelian fold, refs [24][25] of the paper).
+//
+// All algorithms rethrow the first task exception on the calling thread.
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace st {
+
+/// Chooses a chunk count of roughly 4 chunks per worker, capped by `n`.
+[[nodiscard]] inline std::size_t default_chunks(const ThreadPool& pool, std::size_t n) {
+  const std::size_t target = pool.size() * 4;
+  return n < target ? (n == 0 ? 1 : n) : target;
+}
+
+/// Applies body(i) for i in [begin, end) using the pool. Blocking.
+template <class Body>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end, Body body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t chunks = default_chunks(pool, n);
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk_size;
+    if (lo >= end) break;
+    const std::size_t hi = std::min(end, lo + chunk_size);
+    futures.push_back(pool.submit([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+/// Order-preserving parallel transform: out[i] = fn(in[i]).
+template <class T, class Fn>
+auto parallel_map(ThreadPool& pool, const std::vector<T>& in, Fn fn)
+    -> std::vector<decltype(fn(in.front()))> {
+  using R = decltype(fn(in.front()));
+  std::vector<R> out(in.size());
+  parallel_for(pool, 0, in.size(), [&](std::size_t i) { out[i] = fn(in[i]); });
+  return out;
+}
+
+/// Chunked map-reduce. `map` produces an accumulator from a [lo, hi)
+/// sub-range of indices; `reduce(a, b)` folds two accumulators and must
+/// be associative. The fold order over chunks is deterministic
+/// (left-to-right over the chunk index) so commutativity is NOT required.
+template <class Acc, class MapFn, class ReduceFn>
+Acc map_reduce(ThreadPool& pool, std::size_t n, Acc identity, MapFn map, ReduceFn reduce) {
+  if (n == 0) return identity;
+  const std::size_t chunks = default_chunks(pool, n);
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  std::vector<std::future<Acc>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = c * chunk_size;
+    if (lo >= n) break;
+    const std::size_t hi = std::min(n, lo + chunk_size);
+    futures.push_back(pool.submit([lo, hi, &map] { return map(lo, hi); }));
+  }
+  Acc acc = std::move(identity);
+  for (auto& f : futures) acc = reduce(std::move(acc), f.get());
+  return acc;
+}
+
+}  // namespace st

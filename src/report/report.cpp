@@ -1,0 +1,140 @@
+#include "report/report.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "dfg/builder.hpp"
+#include "dfg/render.hpp"
+#include "dfg/render_svg.hpp"
+#include "model/case_stats.hpp"
+#include "support/errors.hpp"
+#include "support/si.hpp"
+
+namespace st::report {
+
+namespace {
+
+std::string html_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string flat(const model::Activity& a) {
+  std::string out = a;
+  std::replace(out.begin(), out.end(), '\n', ' ');
+  return out;
+}
+
+void cases_table(std::string& html, const model::EventLog& log) {
+  html += "<h2>Cases</h2>\n<table>\n<tr><th>case</th><th>events</th><th>read</th>"
+          "<th>written</th><th>I/O time</th><th>span</th></tr>\n";
+  for (const auto& s : model::summarize_cases(log)) {
+    html += "<tr><td>" + html_escape(s.id.to_string()) + "</td><td>" +
+            std::to_string(s.events) + "</td><td>" +
+            format_bytes(static_cast<double>(s.bytes_read)) + "</td><td>" +
+            format_bytes(static_cast<double>(s.bytes_written)) + "</td><td>" +
+            std::to_string(s.total_dur) + " &micro;s</td><td>" + std::to_string(s.span()) +
+            " &micro;s</td></tr>\n";
+  }
+  html += "</table>\n";
+}
+
+void stats_table(std::string& html, const dfg::IoStatistics& stats) {
+  html += "<h2>Activity statistics</h2>\n<table>\n"
+          "<tr><th>activity</th><th>events</th><th>Load</th><th>bytes</th>"
+          "<th>DR</th><th>max-conc</th><th>ranks</th></tr>\n";
+  for (const auto& [activity, s] : stats.per_activity()) {
+    html += "<tr><td>" + html_escape(flat(activity)) + "</td><td>" +
+            std::to_string(s.event_count) + "</td><td>" + format_ratio(s.rel_dur) + "</td><td>" +
+            (s.has_bytes ? format_bytes(static_cast<double>(s.bytes)) : std::string("&ndash;")) +
+            "</td><td>" +
+            (s.rate_samples > 0 ? format_rate_mbps(s.mean_rate) : std::string("&ndash;")) +
+            "</td><td>" + std::to_string(s.max_concurrency) + "</td><td>" +
+            std::to_string(s.rank_count) + "</td></tr>\n";
+  }
+  html += "</table>\n";
+}
+
+void edges_table(std::string& html, const dfg::EdgeStatistics& stats) {
+  html += "<h2>Directly-follows gaps</h2>\n<table>\n"
+          "<tr><th>from</th><th>to</th><th>count</th><th>mean gap</th><th>max gap</th>"
+          "<th>overlapped</th></tr>\n";
+  for (const auto& [edge, s] : stats.per_edge()) {
+    html += "<tr><td>" + html_escape(flat(edge.first)) + "</td><td>" +
+            html_escape(flat(edge.second)) + "</td><td>" + std::to_string(s.count) +
+            "</td><td>" + format_fixed(s.mean_gap(), 1) + " &micro;s</td><td>" +
+            std::to_string(s.max_gap) + " &micro;s</td><td>" + std::to_string(s.overlapped) +
+            "</td></tr>\n";
+  }
+  html += "</table>\n";
+}
+
+}  // namespace
+
+std::string build_report(const model::EventLog& log, const model::Mapping& f,
+                         const dfg::Styler* styler, const ReportOptions& opts) {
+  const auto g = dfg::build_serial(log, f);
+  const auto stats = dfg::IoStatistics::compute(log, f);
+  const auto edge_stats = dfg::EdgeStatistics::compute(log, f);
+
+  std::string html =
+      "<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n<title>" +
+      html_escape(opts.title) +
+      "</title>\n<style>\n"
+      "body{font-family:sans-serif;margin:2em;max-width:72em}\n"
+      "table{border-collapse:collapse;margin:1em 0}\n"
+      "th,td{border:1px solid #999;padding:4px 8px;font-size:13px;"
+      "font-family:monospace;text-align:left}\n"
+      "th{background:#eee}\n"
+      "pre{background:#f6f6f6;padding:8px;overflow-x:auto}\n"
+      ".meta{color:#555}\n</style>\n</head>\n<body>\n";
+  html += "<h1>" + html_escape(opts.title) + "</h1>\n";
+  if (!opts.description.empty()) {
+    html += "<p class=\"meta\">" + html_escape(opts.description) + "</p>\n";
+  }
+  html += "<p class=\"meta\">mapping: <code>" + html_escape(f.name()) + "</code> &mdash; " +
+          std::to_string(log.case_count()) + " cases, " + std::to_string(log.total_events()) +
+          " events, total I/O time " + std::to_string(stats.total_duration()) +
+          " &micro;s</p>\n";
+  if (!opts.partition_legend.empty()) {
+    html += "<p class=\"meta\">partition: " + html_escape(opts.partition_legend) + "</p>\n";
+  }
+
+  html += "<h2>Directly-Follows-Graph</h2>\n";
+  dfg::SvgOptions svg_opts;
+  svg_opts.title = opts.title;
+  html += render_svg(g, &stats, styler, svg_opts);
+
+  stats_table(html, stats);
+  cases_table(html, log);
+  edges_table(html, edge_stats);
+
+  if (opts.timeline_activity) {
+    const auto entries = dfg::IoStatistics::timeline(log, f, *opts.timeline_activity);
+    html += "<h2>Timeline of " + html_escape(flat(*opts.timeline_activity)) + "</h2>\n<pre>" +
+            html_escape(dfg::render_timeline(entries, 80)) + "</pre>\n";
+  }
+
+  html += "</body>\n</html>\n";
+  return html;
+}
+
+void write_report_file(const std::string& path, const model::EventLog& log,
+                       const model::Mapping& f, const dfg::Styler* styler,
+                       const ReportOptions& opts) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw IoError("cannot create report file: " + path);
+  out << build_report(log, f, styler, opts);
+  if (!out) throw IoError("report write failed: " + path);
+}
+
+}  // namespace st::report

@@ -1,0 +1,45 @@
+// Self-contained HTML report of one analysis — the "static report"
+// synthesis style the paper's related work attributes to Darshan and
+// PyDarshan, built from this library's primitives:
+//
+//   - run metadata and the query that produced the view,
+//   - per-case summary table (events, bytes, I/O time, span),
+//   - the DFG as inline SVG (statistics- or partition-colored),
+//   - activity statistics table (Load, bytes, DR, concurrency, ranks),
+//   - edge gap table (the stalls between directly-following calls),
+//   - optional timeline of a chosen activity.
+//
+// Everything is embedded: one .html file, no external assets.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "dfg/coloring.hpp"
+#include "dfg/dfg.hpp"
+#include "dfg/edge_stats.hpp"
+#include "dfg/stats.hpp"
+#include "model/event_log.hpp"
+#include "model/mapping.hpp"
+
+namespace st::report {
+
+struct ReportOptions {
+  std::string title = "I/O inspection report";
+  std::string description;  ///< free text shown under the title
+  /// Activity whose timeline is embedded (empty = none).
+  std::optional<model::Activity> timeline_activity;
+  /// Optional partition predicate label shown with the legend.
+  std::string partition_legend;
+};
+
+/// Builds the full report. `styler` may be null (uncolored DFG).
+[[nodiscard]] std::string build_report(const model::EventLog& log, const model::Mapping& f,
+                                       const dfg::Styler* styler, const ReportOptions& opts = {});
+
+/// Writes the report to a file (throws IoError on failure).
+void write_report_file(const std::string& path, const model::EventLog& log,
+                       const model::Mapping& f, const dfg::Styler* styler,
+                       const ReportOptions& opts = {});
+
+}  // namespace st::report

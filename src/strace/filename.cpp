@@ -1,0 +1,32 @@
+#include "strace/filename.hpp"
+
+#include "support/strings.hpp"
+
+namespace st::strace {
+
+std::optional<TraceFileId> parse_trace_filename(std::string_view name) {
+  // Drop any directory prefix.
+  if (const auto slash = name.rfind('/'); slash != std::string_view::npos) {
+    name = name.substr(slash + 1);
+  }
+  if (!name.ends_with(".st")) return std::nullopt;
+  name.remove_suffix(3);
+
+  const auto first = name.find('_');
+  const auto last = name.rfind('_');
+  if (first == std::string_view::npos || first == last) return std::nullopt;
+
+  TraceFileId id;
+  id.cid = std::string(name.substr(0, first));
+  id.host = std::string(name.substr(first + 1, last - first - 1));
+  const auto rid = parse_u64(name.substr(last + 1));
+  if (id.cid.empty() || id.host.empty() || !rid) return std::nullopt;
+  id.rid = *rid;
+  return id;
+}
+
+std::string format_trace_filename(const TraceFileId& id) {
+  return id.cid + "_" + id.host + "_" + std::to_string(id.rid) + ".st";
+}
+
+}  // namespace st::strace

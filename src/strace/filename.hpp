@@ -1,0 +1,32 @@
+// Trace-file naming convention (paper Sec. III, Fig. 1):
+//
+//   <cid>_<host>_<rid>.st
+//
+// cid identifies the traced command, host the machine, rid the
+// launching (MPI) process. cid must not contain '_'; host may (the rid
+// is taken from the last '_'-separated token).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace st::strace {
+
+struct TraceFileId {
+  std::string cid;
+  std::string host;
+  std::uint64_t rid = 0;
+
+  [[nodiscard]] bool operator==(const TraceFileId&) const = default;
+};
+
+/// Parses "a_host1_9042.st" (a path prefix is allowed and ignored).
+/// Returns nullopt if the name does not follow the convention.
+[[nodiscard]] std::optional<TraceFileId> parse_trace_filename(std::string_view name);
+
+/// Formats the canonical file name "cid_host_rid.st".
+[[nodiscard]] std::string format_trace_filename(const TraceFileId& id);
+
+}  // namespace st::strace

@@ -1,0 +1,285 @@
+#include "strace/parser.hpp"
+
+#include <cctype>
+
+#include "strace/scan.hpp"
+#include "support/errors.hpp"
+#include "support/strings.hpp"
+
+namespace st::strace {
+
+namespace {
+
+constexpr std::string_view kUnfinished = "<unfinished ...>";
+constexpr std::string_view kResumedOpen = "<... ";
+constexpr std::string_view kResumedClose = " resumed>";
+
+bool is_syscall_name_char(char c) {
+  return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_';
+}
+
+/// Extracts the file path of the record per the paper's rules: the -y
+/// annotation on the first fd argument, or — for path-taking calls —
+/// the quoted path argument / annotated return value.
+void extract_path(RawRecord& rec) {
+  const auto args = split_args(rec.args);
+  if (!args.empty()) {
+    if (const auto fp = parse_fd_annotation(args.front())) {
+      rec.fd = fp->fd;
+      rec.path = fp->path;
+      return;
+    }
+  }
+  // openat(AT_FDCWD, "/path", flags) / open("/path", flags) / creat, stat...
+  const bool second_arg_path = rec.call == "openat" || rec.call == "openat2" ||
+                               rec.call == "newfstatat" || rec.call == "unlinkat" ||
+                               rec.call == "mkdirat" || rec.call == "faccessat" ||
+                               rec.call == "faccessat2";
+  const bool first_arg_path = rec.call == "open" || rec.call == "creat" || rec.call == "stat" ||
+                              rec.call == "lstat" || rec.call == "access" ||
+                              rec.call == "unlink" || rec.call == "mkdir" ||
+                              rec.call == "statfs" || rec.call == "readlink";
+  const std::size_t idx = second_arg_path ? 1 : 0;
+  if ((second_arg_path || first_arg_path) && args.size() > idx) {
+    std::string_view a = args[idx];
+    if (a.size() >= 2 && a.front() == '"' && a.back() == '"') {
+      rec.path = decode_c_string(a.substr(1, a.size() - 2));
+      return;
+    }
+  }
+  // Calls whose fd argument is not first (mmap's 5th argument, ...):
+  // take the first -y annotation anywhere in the signature.
+  for (const auto& arg : args) {
+    if (const auto fp = parse_fd_annotation(arg)) {
+      rec.fd = fp->fd;
+      rec.path = fp->path;
+      return;
+    }
+  }
+}
+
+/// Extracts the requested byte count: third argument for read/write
+/// style calls (fd, buf, count[, offset]), otherwise the last numeric
+/// argument if any.
+void extract_requested(RawRecord& rec) {
+  const auto args = split_args(rec.args);
+  if (args.size() >= 3) {
+    if (const auto v = parse_i64(args[2])) {
+      rec.requested = *v;
+      return;
+    }
+  }
+  for (auto it = args.rbegin(); it != args.rend(); ++it) {
+    if (const auto v = parse_i64(*it)) {
+      rec.requested = *v;
+      return;
+    }
+  }
+}
+
+/// Parses the " = ret [ERRNO (msg)] [<dur>]" suffix beginning at the
+/// first character after the closing parenthesis.
+void parse_result_suffix(RawRecord& rec, std::string_view suffix) {
+  std::string_view s = trim(suffix);
+  if (s.empty()) return;
+  if (!s.starts_with('=')) throw ParseError("expected '=' after ')': " + std::string(suffix));
+  s = trim(s.substr(1));
+
+  // Duration "<0.000203>" is always the trailing token when present.
+  if (s.ends_with('>')) {
+    const auto lt = s.rfind('<');
+    if (lt != std::string_view::npos) {
+      const auto dur_text = s.substr(lt + 1, s.size() - lt - 2);
+      if (const auto d = parse_seconds(dur_text)) {
+        rec.duration = *d;
+        s = trim(s.substr(0, lt));
+      }
+    }
+  }
+
+  if (s.empty() || s == "?") return;  // "?" := call did not return
+
+  // Return token: integer, hex pointer, or fd-with-path annotation.
+  const auto fields = split_ws(s);
+  std::string_view ret_tok = fields.front();
+  if (const auto fp = parse_fd_annotation(ret_tok)) {
+    rec.retval = fp->fd;
+    // An annotated return path (openat) resolves the accessed file.
+    if (rec.path.empty()) rec.path = fp->path;
+  } else if (const auto v = parse_i64(ret_tok)) {
+    rec.retval = *v;
+  } else if (ret_tok.starts_with("0x")) {
+    rec.retval = std::nullopt;  // pointer return (mmap etc.); not a size
+  }
+
+  // Errno name follows a negative return: "-1 ENOENT (No such file...)".
+  if (rec.retval && *rec.retval < 0 && fields.size() >= 2) {
+    const std::string_view name = fields[1];
+    if (!name.empty() && name.front() == 'E') rec.errno_name = std::string(name);
+  }
+}
+
+}  // namespace
+
+std::optional<RawRecord> parse_line(std::string_view line) {
+  std::string_view s = trim(line);
+  if (s.empty()) return std::nullopt;
+
+  RawRecord rec;
+
+  // PID
+  std::size_t i = 0;
+  while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])) != 0) ++i;
+  if (i == 0) throw ParseError("missing pid: " + std::string(line));
+  rec.pid = *parse_u64(s.substr(0, i));
+  s = trim(s.substr(i));
+
+  // Timestamp
+  std::size_t ts_end = 0;
+  while (ts_end < s.size() && std::isspace(static_cast<unsigned char>(s[ts_end])) == 0) ++ts_end;
+  const auto ts = parse_time_of_day(s.substr(0, ts_end));
+  if (!ts) throw ParseError("missing -tt timestamp: " + std::string(line));
+  rec.timestamp = *ts;
+  s = trim(s.substr(ts_end));
+
+  // Signal / exit records.
+  if (s.starts_with("---")) {
+    rec.kind = RecordKind::Signal;
+    rec.args = std::string(trim(s.substr(3, s.size() > 6 ? s.size() - 6 : 0)));
+    const auto fields = split_ws(rec.args);
+    if (!fields.empty()) rec.call = std::string(fields.front());
+    return rec;
+  }
+  if (s.starts_with("+++")) {
+    rec.kind = RecordKind::Exit;
+    rec.args = std::string(trim(s.substr(3, s.size() > 6 ? s.size() - 6 : 0)));
+    rec.call = "exit";
+    return rec;
+  }
+
+  // Resumed record: "<... call resumed> rest) = ret <dur>".
+  if (s.starts_with(kResumedOpen)) {
+    const auto close = s.find(kResumedClose);
+    if (close == std::string_view::npos) throw ParseError("bad resumed record: " + std::string(line));
+    rec.kind = RecordKind::Resumed;
+    rec.call = std::string(trim(s.substr(kResumedOpen.size(), close - kResumedOpen.size())));
+    std::string_view rest = s.substr(close + kResumedClose.size());
+    // rest = "args) = ret <dur>"; find the top-level ')' scanning with
+    // quote awareness (there is no opening paren on this line).
+    std::size_t j = 0;
+    int depth = 0;
+    std::optional<std::size_t> close_paren;
+    while (j < rest.size()) {
+      const char c = rest[j];
+      if (c == '"') {
+        const auto nxt = skip_quoted(rest, j);
+        if (!nxt) break;
+        j = *nxt;
+        continue;
+      }
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') {
+        if (depth == 0 && c == ')') {
+          close_paren = j;
+          break;
+        }
+        --depth;
+      }
+      ++j;
+    }
+    if (!close_paren) throw ParseError("resumed record without ')': " + std::string(line));
+    rec.args = std::string(trim(rest.substr(0, *close_paren)));
+    parse_result_suffix(rec, rest.substr(*close_paren + 1));
+    return rec;
+  }
+
+  // Ordinary syscall record: "call(args...".
+  std::size_t name_end = 0;
+  while (name_end < s.size() && is_syscall_name_char(s[name_end])) ++name_end;
+  if (name_end == 0 || name_end >= s.size() || s[name_end] != '(') {
+    throw ParseError("expected 'call(' : " + std::string(line));
+  }
+  rec.call = std::string(s.substr(0, name_end));
+
+  if (s.ends_with(kUnfinished)) {
+    rec.kind = RecordKind::Unfinished;
+    std::string_view args = s.substr(name_end + 1, s.size() - name_end - 1 - kUnfinished.size());
+    rec.args = std::string(trim(args));
+    // Strip a trailing comma left before "<unfinished ...>".
+    if (!rec.args.empty() && rec.args.back() == ',') {
+      rec.args.pop_back();
+      rec.args = std::string(trim(rec.args));
+    }
+    extract_path(rec);
+    return rec;
+  }
+
+  const auto close = find_matching_paren(s, name_end);
+  if (!close) throw ParseError("unbalanced parentheses: " + std::string(line));
+  rec.kind = RecordKind::Complete;
+  rec.args = std::string(s.substr(name_end + 1, *close - name_end - 1));
+  parse_result_suffix(rec, s.substr(*close + 1));
+  extract_path(rec);
+  extract_requested(rec);
+  return rec;
+}
+
+std::optional<RawRecord> ResumeMerger::feed(RawRecord rec) {
+  switch (rec.kind) {
+    case RecordKind::Complete:
+    case RecordKind::Signal:
+    case RecordKind::Exit:
+      return rec;
+    case RecordKind::Unfinished: {
+      pending_[rec.pid] = std::move(rec);
+      return std::nullopt;
+    }
+    case RecordKind::Resumed: {
+      const auto it = pending_.find(rec.pid);
+      if (it == pending_.end()) {
+        throw ParseError("resumed record for pid " + std::to_string(rec.pid) +
+                         " without matching unfinished record");
+      }
+      RawRecord merged = std::move(it->second);
+      pending_.erase(it);
+      if (merged.call != rec.call) {
+        throw ParseError("resumed call '" + rec.call + "' does not match unfinished '" +
+                         merged.call + "' for pid " + std::to_string(rec.pid));
+      }
+      merged.kind = RecordKind::Complete;
+      // Start timestamp stays from the unfinished part; duration and
+      // return value are only known at resume time (paper, Sec. III).
+      if (!merged.args.empty() && !rec.args.empty()) {
+        merged.args += ", " + rec.args;
+      } else if (!rec.args.empty()) {
+        merged.args = rec.args;
+      }
+      merged.retval = rec.retval;
+      merged.errno_name = rec.errno_name;
+      merged.duration = rec.duration;
+      if (merged.path.empty()) {
+        RawRecord probe = merged;
+        extract_path(probe);
+        merged.path = probe.path;
+        merged.fd = probe.fd;
+      }
+      {
+        RawRecord probe = merged;
+        extract_requested(probe);
+        merged.requested = probe.requested;
+      }
+      return merged;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<RawRecord> ResumeMerger::take_pending() {
+  std::vector<RawRecord> out;
+  out.reserve(pending_.size());
+  for (auto& [pid, rec] : pending_) out.push_back(std::move(rec));
+  pending_.clear();
+  return out;
+}
+
+}  // namespace st::strace

@@ -1,0 +1,53 @@
+// Line-level strace parser and unfinished/resumed merger.
+//
+// Input grammar (strace -f -tt -T -y, one record per line):
+//
+//   PID  HH:MM:SS.ffffff call(args) = ret [ERRNO (text)] <dur>
+//   PID  HH:MM:SS.ffffff call(args <unfinished ...>
+//   PID  HH:MM:SS.ffffff <... call resumed> rest) = ret <dur>
+//   PID  HH:MM:SS.ffffff --- SIGxxx {siginfo} ---
+//   PID  HH:MM:SS.ffffff +++ exited with N +++
+//
+// The parser extracts the event attributes of Sec. III of the paper
+// (pid, call, start, dur, fp, size) plus structural metadata. The
+// ResumeMerger implements the paper's rule: "the unfinished and the
+// resumed records are matched using the pid, and merged into a single
+// record" — the merged record keeps the start timestamp of the
+// unfinished part and the duration/return value of the resumed part.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "strace/record.hpp"
+
+namespace st::strace {
+
+/// Parses one line. Returns nullopt for blank lines. Throws ParseError
+/// for structurally invalid lines (no pid/timestamp, unbalanced parens).
+[[nodiscard]] std::optional<RawRecord> parse_line(std::string_view line);
+
+/// Stateful merger of <unfinished ...> / <... resumed> pairs.
+///
+/// feed() returns a record when one becomes complete: a Complete input
+/// passes through, a Resumed input is merged with the pending
+/// Unfinished record of the same pid. Unfinished inputs are buffered.
+/// Signal/Exit records pass through untouched.
+class ResumeMerger {
+ public:
+  [[nodiscard]] std::optional<RawRecord> feed(RawRecord rec);
+
+  /// Unfinished records that never resumed (e.g. the process was
+  /// killed mid-call). Clears the internal state.
+  [[nodiscard]] std::vector<RawRecord> take_pending();
+
+  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, RawRecord> pending_;  // keyed by pid
+};
+
+}  // namespace st::strace

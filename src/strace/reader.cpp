@@ -1,0 +1,57 @@
+#include "strace/reader.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "strace/parser.hpp"
+#include "support/errors.hpp"
+#include "support/strings.hpp"
+
+namespace st::strace {
+
+ReadResult read_trace_text(std::string_view text, const ReadOptions& opts) {
+  ReadResult result;
+  ResumeMerger merger;
+  std::size_t lineno = 0;
+  for (std::string_view line : split(text, '\n')) {
+    ++lineno;
+    if (trim(line).empty()) continue;
+    std::optional<RawRecord> rec;
+    try {
+      rec = parse_line(line);
+    } catch (const ParseError& e) {
+      if (opts.strict) throw;
+      result.warnings.push_back("line " + std::to_string(lineno) + ": " + e.what());
+      continue;
+    }
+    if (!rec) continue;
+    std::optional<RawRecord> complete;
+    try {
+      complete = merger.feed(std::move(*rec));
+    } catch (const ParseError& e) {
+      if (opts.strict) throw;
+      result.warnings.push_back("line " + std::to_string(lineno) + ": " + e.what());
+      continue;
+    }
+    if (!complete) continue;
+    if (opts.drop_signals && complete->kind == RecordKind::Signal) continue;
+    if (opts.drop_exits && complete->kind == RecordKind::Exit) continue;
+    if (opts.drop_restarts && complete->is_restart()) continue;
+    result.records.push_back(std::move(*complete));
+  }
+  for (auto& pending : merger.take_pending()) {
+    result.warnings.push_back("unfinished call never resumed: pid " +
+                              std::to_string(pending.pid) + " " + pending.call);
+  }
+  return result;
+}
+
+ReadResult read_trace_file(const std::string& path, const ReadOptions& opts) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open trace file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return read_trace_text(buf.str(), opts);
+}
+
+}  // namespace st::strace

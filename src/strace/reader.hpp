@@ -1,0 +1,39 @@
+// High-level trace reading: text/file -> merged, filtered records.
+//
+// Applies the paper's Sec. III processing rules in order:
+//   1. parse every line,
+//   2. merge unfinished/resumed pairs by pid,
+//   3. drop signal and exit records (not system calls),
+//   4. drop ERESTARTSYS-interrupted calls,
+// and collects row-level problems as warnings instead of aborting the
+// whole file (real strace logs contain truncation and noise).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "strace/record.hpp"
+
+namespace st::strace {
+
+struct ReadOptions {
+  bool drop_restarts = true;   ///< ignore ERESTARTSYS calls (paper rule)
+  bool drop_signals = true;    ///< drop --- SIGxxx --- records
+  bool drop_exits = true;      ///< drop +++ exited +++ records
+  bool strict = false;         ///< rethrow line parse errors instead of warning
+};
+
+struct ReadResult {
+  std::vector<RawRecord> records;
+  std::vector<std::string> warnings;  ///< one entry per skipped/incomplete line
+};
+
+/// Parses a whole trace text (multiple lines).
+[[nodiscard]] ReadResult read_trace_text(std::string_view text, const ReadOptions& opts = {});
+
+/// Reads and parses a trace file from disk. Throws IoError if the file
+/// cannot be opened.
+[[nodiscard]] ReadResult read_trace_file(const std::string& path, const ReadOptions& opts = {});
+
+}  // namespace st::strace

@@ -1,0 +1,157 @@
+#include "strace/scan.hpp"
+
+#include <vector>
+
+#include "support/strings.hpp"
+
+namespace st::strace {
+
+std::optional<std::size_t> skip_quoted(std::string_view s, std::size_t start) {
+  // s[start] must be the opening quote.
+  if (start >= s.size() || s[start] != '"') return std::nullopt;
+  std::size_t i = start + 1;
+  while (i < s.size()) {
+    if (s[i] == '\\') {
+      i += 2;  // escape consumes the next char, whatever it is
+      continue;
+    }
+    if (s[i] == '"') return i + 1;
+    ++i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> find_matching_paren(std::string_view s, std::size_t open_paren) {
+  if (open_paren >= s.size() || s[open_paren] != '(') return std::nullopt;
+  int depth = 0;
+  std::size_t i = open_paren;
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c == '"') {
+      const auto next = skip_quoted(s, i);
+      if (!next) return std::nullopt;
+      i = *next;
+      continue;
+    }
+    if (c == '(' || c == '[' || c == '{') {
+      ++depth;
+    } else if (c == ')' || c == ']' || c == '}') {
+      --depth;
+      if (depth == 0 && c == ')') return i;
+      if (depth < 0) return std::nullopt;
+    }
+    ++i;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string_view> split_args(std::string_view args) {
+  std::vector<std::string_view> out;
+  int depth = 0;
+  std::size_t field_start = 0;
+  std::size_t i = 0;
+  while (i < args.size()) {
+    const char c = args[i];
+    if (c == '"') {
+      const auto next = skip_quoted(args, i);
+      if (!next) break;  // unterminated string: keep remainder as one field
+      i = *next;
+      continue;
+    }
+    if (c == '(' || c == '[' || c == '{') {
+      ++depth;
+    } else if (c == ')' || c == ']' || c == '}') {
+      --depth;
+    } else if (c == ',' && depth == 0) {
+      out.push_back(trim(args.substr(field_start, i - field_start)));
+      field_start = i + 1;
+    }
+    ++i;
+  }
+  const auto last = trim(args.substr(field_start));
+  if (!last.empty() || !out.empty()) out.push_back(last);
+  return out;
+}
+
+std::string decode_c_string(std::string_view body) {
+  std::string out;
+  out.reserve(body.size());
+  std::size_t i = 0;
+  const auto hex_val = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  while (i < body.size()) {
+    char c = body[i];
+    if (c != '\\') {
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    ++i;
+    if (i >= body.size()) break;
+    const char e = body[i];
+    switch (e) {
+      case 'n': out.push_back('\n'); ++i; break;
+      case 't': out.push_back('\t'); ++i; break;
+      case 'r': out.push_back('\r'); ++i; break;
+      case 'v': out.push_back('\v'); ++i; break;
+      case 'f': out.push_back('\f'); ++i; break;
+      case 'a': out.push_back('\a'); ++i; break;
+      case 'b': out.push_back('\b'); ++i; break;
+      case '\\': out.push_back('\\'); ++i; break;
+      case '"': out.push_back('"'); ++i; break;
+      case 'x': {
+        ++i;
+        int v = 0;
+        int digits = 0;
+        while (i < body.size() && digits < 2) {
+          const int h = hex_val(body[i]);
+          if (h < 0) break;
+          v = v * 16 + h;
+          ++i;
+          ++digits;
+        }
+        out.push_back(static_cast<char>(v));
+        break;
+      }
+      default: {
+        if (e >= '0' && e <= '7') {
+          int v = 0;
+          int digits = 0;
+          while (i < body.size() && digits < 3 && body[i] >= '0' && body[i] <= '7') {
+            v = v * 8 + (body[i] - '0');
+            ++i;
+            ++digits;
+          }
+          out.push_back(static_cast<char>(v));
+        } else {
+          // Unknown escape: keep verbatim.
+          out.push_back('\\');
+          out.push_back(e);
+          ++i;
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<FdPath> parse_fd_annotation(std::string_view token) {
+  // N<path> where N is a small decimal integer.
+  std::size_t i = 0;
+  while (i < token.size() && token[i] >= '0' && token[i] <= '9') ++i;
+  if (i == 0 || i >= token.size() || token[i] != '<') return std::nullopt;
+  if (token.back() != '>') return std::nullopt;
+  const auto fd = parse_i64(token.substr(0, i));
+  if (!fd || *fd < 0 || *fd > 1'000'000) return std::nullopt;
+  FdPath out;
+  out.fd = static_cast<int>(*fd);
+  out.path = std::string(token.substr(i + 1, token.size() - i - 2));
+  return out;
+}
+
+}  // namespace st::strace

@@ -1,0 +1,43 @@
+// Low-level scanning helpers for strace's argument syntax.
+//
+// strace argument lists contain C string literals with escapes
+// ("a\n\"b\331"...), nested braces/brackets (struct and array dumps)
+// and the -y fd annotations "3</path/to/file>". These helpers let the
+// record parser find structural positions without fully interpreting
+// the argument values.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace st::strace {
+
+/// Given `s[open_paren] == '('`, returns the index of the matching ')'
+/// honoring quoted strings and nested (), [], {}. nullopt if unbalanced.
+[[nodiscard]] std::optional<std::size_t> find_matching_paren(std::string_view s,
+                                                             std::size_t open_paren);
+
+/// Given `s[start] == '"'`, returns the index one past the closing
+/// quote, honoring backslash escapes. nullopt if unterminated.
+[[nodiscard]] std::optional<std::size_t> skip_quoted(std::string_view s, std::size_t start);
+
+/// Splits a raw argument string on top-level commas (commas inside
+/// quotes/braces/brackets/parens do not split). Fields are trimmed.
+[[nodiscard]] std::vector<std::string_view> split_args(std::string_view args);
+
+/// Decodes a C-style string literal body (no surrounding quotes):
+/// handles \n \t \r \0 \\ \" \xHH and octal \NNN escapes.
+[[nodiscard]] std::string decode_c_string(std::string_view body);
+
+/// Parses an fd-with-path annotation "3</usr/lib/libc.so.6>"
+/// or "4<socket:[12345]>". Returns (fd, path-inside-angle-brackets).
+struct FdPath {
+  int fd = -1;
+  std::string path;
+};
+[[nodiscard]] std::optional<FdPath> parse_fd_annotation(std::string_view token);
+
+}  // namespace st::strace

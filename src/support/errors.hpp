@@ -1,0 +1,40 @@
+// Error types shared by all st-inspector libraries.
+//
+// Per the C++ Core Guidelines (E.2, E.14) errors that a caller can not
+// locally recover from are reported with exceptions derived from a small
+// purpose-built hierarchy rather than raw std::runtime_error, so call
+// sites can discriminate between "the input text is malformed"
+// (ParseError), "the storage layer failed" (IoError) and "the caller
+// violated an API precondition" (LogicError).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace st {
+
+/// Root of the st-inspector exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input text (strace records, elog headers, CLI flags...).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// Failure in the storage substrate (file open/read/write, CRC mismatch).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("io error: " + what) {}
+};
+
+/// API misuse detected at run time (precondition violation).
+class LogicError : public Error {
+ public:
+  explicit LogicError(const std::string& what) : Error("logic error: " + what) {}
+};
+
+}  // namespace st

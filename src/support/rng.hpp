@@ -1,0 +1,98 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// The simulator must be bit-reproducible across platforms and standard
+// library versions, so we implement the generators ourselves instead of
+// relying on std::mt19937 + std::*_distribution (whose outputs are not
+// specified identically across vendors for all distributions).
+//
+// SplitMix64 is used for seeding; xoshiro256** is the workhorse
+// generator (Blackman & Vigna, 2018). Both are public-domain algorithms
+// re-implemented here from the reference description.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace st {
+
+/// SplitMix64: fast 64-bit mixer used to expand one seed into many.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: general-purpose 64-bit PRNG with 2^256-1 period.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  double uniform01() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+  /// Uniform integer in [0, n). Unbiased via rejection.
+  std::uint64_t below(std::uint64_t n) {
+    if (n == 0) return 0;
+    const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+    while (true) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal() {
+    // u1 in (0,1] to avoid log(0).
+    const double u1 = 1.0 - uniform01();
+    const double u2 = uniform01();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Log-normal with the given median and sigma of the underlying normal.
+  /// Used for syscall service-time jitter: latencies are right-skewed.
+  double lognormal(double median, double sigma) { return median * std::exp(sigma * normal()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace st

@@ -1,0 +1,34 @@
+#include "support/si.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace st {
+
+std::string format_fixed(double v, int decimals) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", decimals, v);
+  return std::string(buf.data());
+}
+
+std::string format_bytes(double bytes) {
+  // The paper renders every byte total at KB or above ("0.75 KB" for
+  // 753 B in Fig. 3), decimal units (1 KB = 1000 B).
+  static constexpr std::array<const char*, 4> kUnits = {"KB", "MB", "GB", "TB"};
+  double v = bytes / 1000.0;
+  std::size_t unit = 0;
+  while (std::fabs(v) >= 1000.0 && unit + 1 < kUnits.size()) {
+    v /= 1000.0;
+    ++unit;
+  }
+  return format_fixed(v, 2) + " " + kUnits[unit];
+}
+
+std::string format_rate_mbps(double bytes_per_second) {
+  return format_fixed(bytes_per_second / 1e6, 2) + " MB/s";
+}
+
+std::string format_ratio(double r) { return format_fixed(r, 2); }
+
+}  // namespace st

@@ -1,0 +1,26 @@
+// Human-readable quantity formatting matching the paper's figures.
+//
+// The paper prints byte totals as "14.98 KB" / "9.66 GB" (decimal SI,
+// 1 KB = 1000 B — verified against Fig. 3 where 6 reads x 832 B + ... =
+// 14976 B is shown as 14.98 KB) and data rates as "10.15 MB/s". Load is
+// a bare ratio with two decimals ("0.22").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace st {
+
+/// "832 B", "14.98 KB", "9.66 GB" — two decimals above bytes.
+[[nodiscard]] std::string format_bytes(double bytes);
+
+/// "10.15 MB/s" — always MB/s with two decimals, as in the figures.
+[[nodiscard]] std::string format_rate_mbps(double bytes_per_second);
+
+/// Ratio with two decimals: format_ratio(0.21843) == "0.22".
+[[nodiscard]] std::string format_ratio(double r);
+
+/// Fixed-decimal double without trailing-zero trimming.
+[[nodiscard]] std::string format_fixed(double v, int decimals);
+
+}  // namespace st

@@ -1,0 +1,102 @@
+#include "support/timeparse.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "support/strings.hpp"
+
+namespace st {
+
+namespace {
+
+// Parses exactly `width` decimal digits from s starting at pos.
+std::optional<std::int64_t> fixed_digits(std::string_view s, std::size_t pos, std::size_t width) {
+  if (pos + width > s.size()) return std::nullopt;
+  std::int64_t v = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    const char c = s[pos + i];
+    if (c < '0' || c > '9') return std::nullopt;
+    v = v * 10 + (c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+std::optional<Micros> parse_time_of_day(std::string_view s) {
+  // HH:MM:SS[.ffffff]
+  const auto hh = fixed_digits(s, 0, 2);
+  const auto mm = fixed_digits(s, 3, 2);
+  const auto ss = fixed_digits(s, 6, 2);
+  if (!hh || !mm || !ss) return std::nullopt;
+  if (s.size() < 8 || s[2] != ':' || s[5] != ':') return std::nullopt;
+  if (*hh > 23 || *mm > 59 || *ss > 60) return std::nullopt;  // 60: leap second
+  Micros frac = 0;
+  if (s.size() > 8) {
+    if (s[8] != '.') return std::nullopt;
+    std::string_view digits = s.substr(9);
+    if (digits.empty() || digits.size() > 6) return std::nullopt;
+    std::int64_t v = 0;
+    for (char c : digits) {
+      if (c < '0' || c > '9') return std::nullopt;
+      v = v * 10 + (c - '0');
+    }
+    for (std::size_t i = digits.size(); i < 6; ++i) v *= 10;
+    frac = v;
+  }
+  return ((*hh * 3600 + *mm * 60 + *ss) * kMicrosPerSecond) + frac;
+}
+
+std::string format_time_of_day(Micros t) {
+  if (t < 0) t = 0;
+  t %= kMicrosPerDay;
+  const auto secs = t / kMicrosPerSecond;
+  const auto frac = t % kMicrosPerSecond;
+  std::array<char, 32> buf{};
+  std::snprintf(buf.data(), buf.size(), "%02lld:%02lld:%02lld.%06lld",
+                static_cast<long long>(secs / 3600), static_cast<long long>((secs / 60) % 60),
+                static_cast<long long>(secs % 60), static_cast<long long>(frac));
+  return std::string(buf.data());
+}
+
+std::optional<Micros> parse_seconds(std::string_view s) {
+  const std::size_t dot = s.find('.');
+  std::string_view whole = (dot == std::string_view::npos) ? s : s.substr(0, dot);
+  std::string_view frac = (dot == std::string_view::npos) ? std::string_view{} : s.substr(dot + 1);
+  if (whole.empty() && frac.empty()) return std::nullopt;
+  std::int64_t w = 0;
+  if (!whole.empty()) {
+    const auto parsed = parse_i64(whole);
+    if (!parsed || *parsed < 0) return std::nullopt;
+    w = *parsed;
+  }
+  std::int64_t f = 0;
+  if (!frac.empty()) {
+    if (frac.size() > 9) frac = frac.substr(0, 9);  // sub-nanosecond digits: truncate
+    std::int64_t v = 0;
+    for (char c : frac) {
+      if (c < '0' || c > '9') return std::nullopt;
+      v = v * 10 + (c - '0');
+    }
+    // Scale to microseconds, rounding at the 7th digit.
+    if (frac.size() <= 6) {
+      for (std::size_t i = frac.size(); i < 6; ++i) v *= 10;
+      f = v;
+    } else {
+      std::int64_t div = 1;
+      for (std::size_t i = 6; i < frac.size(); ++i) div *= 10;
+      f = (v + div / 2) / div;
+    }
+  }
+  return w * kMicrosPerSecond + f;
+}
+
+std::string format_seconds(Micros d) {
+  if (d < 0) d = 0;
+  std::array<char, 32> buf{};
+  std::snprintf(buf.data(), buf.size(), "%lld.%06lld", static_cast<long long>(d / kMicrosPerSecond),
+                static_cast<long long>(d % kMicrosPerSecond));
+  return std::string(buf.data());
+}
+
+}  // namespace st

@@ -1,0 +1,38 @@
+// Timestamp and duration handling.
+//
+// strace -tt records wall-clock time-of-day with microsecond precision
+// ("08:55:54.153994") and -T records call durations in seconds
+// ("<0.000203>"). Internally every time quantity is an integral count
+// of microseconds (std::int64_t), the native resolution of the input;
+// floating point is only used at the formatting boundary.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace st {
+
+/// Microseconds. Used for both points in time and durations.
+using Micros = std::int64_t;
+
+inline constexpr Micros kMicrosPerSecond = 1'000'000;
+inline constexpr Micros kMicrosPerDay = 24LL * 3600 * kMicrosPerSecond;
+
+/// Parses "HH:MM:SS.ffffff" (strace -tt format, fractional part of one
+/// to six digits) into microseconds since midnight.
+[[nodiscard]] std::optional<Micros> parse_time_of_day(std::string_view s);
+
+/// Formats microseconds-since-midnight back to "HH:MM:SS.ffffff".
+[[nodiscard]] std::string format_time_of_day(Micros t);
+
+/// Parses a duration in seconds with fractional part ("0.000203") into
+/// microseconds, rounding to nearest.
+[[nodiscard]] std::optional<Micros> parse_seconds(std::string_view s);
+
+/// Formats a duration in microseconds as seconds with 6 decimals
+/// ("0.000203"), the strace -T style.
+[[nodiscard]] std::string format_seconds(Micros d);
+
+}  // namespace st

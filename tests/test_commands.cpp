@@ -1,0 +1,144 @@
+#include "iosim/commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dfg/builder.hpp"
+#include "dfg/stats.hpp"
+#include "model/event_log.hpp"
+#include "model/from_strace.hpp"
+
+namespace st::iosim {
+namespace {
+
+model::EventLog ca() { return make_ls_traces().to_event_log(); }
+model::EventLog cb() { return make_ls_l_traces().to_event_log(); }
+model::EventLog cx() { return model::EventLog::merge(ca(), cb()); }
+
+TEST(Commands, ThreeCasesPerCommandWithPaperRids) {
+  const auto log = ca();
+  ASSERT_EQ(log.case_count(), 3u);
+  EXPECT_NE(log.find_case(model::CaseId{"a", "host1", 9042}), nullptr);
+  EXPECT_NE(log.find_case(model::CaseId{"a", "host1", 9043}), nullptr);
+  EXPECT_NE(log.find_case(model::CaseId{"a", "host1", 9045}), nullptr);
+}
+
+TEST(Commands, LsLRids) {
+  const auto log = cb();
+  EXPECT_NE(log.find_case(model::CaseId{"b", "host1", 9157}), nullptr);
+  EXPECT_NE(log.find_case(model::CaseId{"b", "host1", 9158}), nullptr);
+  EXPECT_NE(log.find_case(model::CaseId{"b", "host1", 9160}), nullptr);
+}
+
+TEST(Commands, EventCountsMatchFig2) {
+  EXPECT_EQ(ca().total_events(), 3u * 8u);   // 8 lines in Fig. 2a
+  EXPECT_EQ(cb().total_events(), 3u * 17u);  // 17 lines in Fig. 2b
+}
+
+TEST(Commands, PidDiffersFromRid) {
+  const auto* c = ca().find_case(model::CaseId{"a", "host1", 9042});
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->events().front().pid, 9054u);  // the forked child of Fig. 2a
+}
+
+// Byte totals of Fig. 3 are exact: they derive from the printed traces.
+TEST(Commands, Fig3ByteStatisticsExact) {
+  const auto log = cx();
+  const auto f = model::Mapping::call_top_dirs(2);
+  const auto stats = dfg::IoStatistics::compute(log, f);
+
+  EXPECT_EQ(stats.find("read\n/usr/lib")->bytes, 14976);            // 14.98 KB
+  EXPECT_EQ(stats.find("read\n/proc/filesystems")->bytes, 2868);    // 2.87 KB
+  EXPECT_EQ(stats.find("read\n/etc/locale.alias")->bytes, 17976);   // 17.98 KB
+  EXPECT_EQ(stats.find("read\n/etc/nsswitch.conf")->bytes, 1626);   // 1.63 KB
+  EXPECT_EQ(stats.find("read\n/etc/passwd")->bytes, 4836);          // 4.84 KB
+  EXPECT_EQ(stats.find("read\n/etc/group")->bytes, 2616);           // 2.62 KB
+  EXPECT_EQ(stats.find("read\n/usr/share")->bytes, 11241);          // 11.24 KB
+  EXPECT_EQ(stats.find("write\n/dev/pts")->bytes, 753);             // 0.75 KB
+}
+
+TEST(Commands, Fig3bEdgeFrequencies) {
+  const auto g = dfg::build_serial(ca(), model::Mapping::call_top_dirs(2));
+  EXPECT_EQ(g.edge_count(dfg::Dfg::start_node(), "read\n/usr/lib"), 3u);
+  EXPECT_EQ(g.edge_count("read\n/usr/lib", "read\n/usr/lib"), 6u);
+  EXPECT_EQ(g.edge_count("read\n/usr/lib", "read\n/proc/filesystems"), 3u);
+  EXPECT_EQ(g.edge_count("read\n/proc/filesystems", "read\n/proc/filesystems"), 3u);
+  EXPECT_EQ(g.edge_count("read\n/proc/filesystems", "read\n/etc/locale.alias"), 3u);
+  EXPECT_EQ(g.edge_count("read\n/etc/locale.alias", "read\n/etc/locale.alias"), 3u);
+  EXPECT_EQ(g.edge_count("read\n/etc/locale.alias", "write\n/dev/pts"), 3u);
+  EXPECT_EQ(g.edge_count("write\n/dev/pts", dfg::Dfg::end_node()), 3u);
+  EXPECT_EQ(g.activities().size(), 4u);
+}
+
+TEST(Commands, Fig3cHasLsLExclusiveActivities) {
+  const auto g = dfg::build_serial(cb(), model::Mapping::call_top_dirs(2));
+  EXPECT_TRUE(g.has_node("read\n/etc/nsswitch.conf"));
+  EXPECT_TRUE(g.has_node("read\n/etc/passwd"));
+  EXPECT_TRUE(g.has_node("read\n/etc/group"));
+  EXPECT_TRUE(g.has_node("read\n/usr/share"));
+  EXPECT_EQ(g.activities().size(), 8u);
+  // Second /usr/lib visit (zoneinfo reads come later): write -> read edge.
+  EXPECT_EQ(g.edge_count("write\n/dev/pts", "read\n/usr/share"), 3u);
+  EXPECT_EQ(g.edge_count("write\n/dev/pts", "write\n/dev/pts"), 6u);
+}
+
+TEST(Commands, Fig3dUnionCountsAreSums) {
+  const auto f = model::Mapping::call_top_dirs(2);
+  auto merged = dfg::build_serial(ca(), f);
+  merged.merge(dfg::build_serial(cb(), f));
+  const auto whole = dfg::build_serial(cx(), f);
+  EXPECT_EQ(merged, whole);
+  EXPECT_EQ(whole.edge_count(dfg::Dfg::start_node(), "read\n/usr/lib"), 6u);
+  EXPECT_EQ(whole.edge_count("read\n/usr/lib", "read\n/usr/lib"), 12u);
+}
+
+TEST(Commands, AllCasesOfOneCommandShareOneTraceVariant) {
+  // L(Ca) = { <...>^3 }: all three cases map to the same trace.
+  const auto al = model::ActivityLog::build(ca(), model::Mapping::call_top_dirs(2));
+  ASSERT_EQ(al.variants().size(), 1u);
+  EXPECT_EQ(al.variants().begin()->second, 3u);
+}
+
+TEST(Commands, StaggerProducesCrossCaseOverlap) {
+  const auto stats =
+      dfg::IoStatistics::compute(cb(), model::Mapping::call_top_dirs(2));
+  // With 120 us stagger and ~200 us events, neighbouring ranks overlap
+  // (Fig. 5 reports max-concurrency 2 for read:/usr/lib on Cb).
+  EXPECT_GE(stats.find("read\n/usr/lib")->max_concurrency, 2u);
+}
+
+TEST(Commands, Fig4FilteredMapping) {
+  const auto f = model::Mapping::call_last_components(2).filtered_fp("/usr/lib");
+  const auto g = dfg::build_serial(cx(), f);
+  EXPECT_TRUE(g.has_node("read\nx86_64-linux-gnu/libselinux.so.1"));
+  EXPECT_TRUE(g.has_node("read\nx86_64-linux-gnu/libc.so.6"));
+  EXPECT_TRUE(g.has_node("read\nx86_64-linux-gnu/libpcre2-8.so.0.10.4"));
+  EXPECT_EQ(g.activities().size(), 3u);  // only /usr/lib accesses survive
+  // Each case contributes one visit to each library: 6 edges from start.
+  EXPECT_EQ(g.edge_count(dfg::Dfg::start_node(), "read\nx86_64-linux-gnu/libselinux.so.1"),
+            6u);
+}
+
+TEST(Commands, CustomOptionsRespected) {
+  CommandTraceOptions opt;
+  opt.processes = 5;
+  opt.base_rid = 100;
+  opt.host = "hostX";
+  const auto log = make_ls_traces(opt).to_event_log();
+  EXPECT_EQ(log.case_count(), 5u);
+  EXPECT_NE(log.find_case(model::CaseId{"a", "hostX", 100}), nullptr);
+}
+
+TEST(Commands, TracesRoundTripThroughFilesAndParser) {
+  const auto dir = ::testing::TempDir() + "/cmd_traces";
+  make_ls_traces().write_files(dir);
+  const std::vector<std::string> files = {
+      dir + "/a_host1_9042.st", dir + "/a_host1_9043.st", dir + "/a_host1_9045.st"};
+  const auto log = model::event_log_from_files(files);
+  EXPECT_EQ(log.case_count(), 3u);
+  EXPECT_EQ(log.total_events(), 24u);
+  const auto stats = dfg::IoStatistics::compute(log, model::Mapping::call_top_dirs(2));
+  EXPECT_EQ(stats.find("read\n/usr/lib")->bytes, 832 * 3 * 3);
+}
+
+}  // namespace
+}  // namespace st::iosim

@@ -1,0 +1,185 @@
+// Robustness corpus: realistic, messy strace output lines — struct
+// dumps, string arrays, hex returns, device annotations, truncation
+// markers. The parser must never crash: every line either yields a
+// record with sensible basics or a ParseError the reader converts into
+// a warning.
+#include <gtest/gtest.h>
+
+#include "strace/parser.hpp"
+#include "strace/reader.hpp"
+#include "support/errors.hpp"
+
+namespace st::strace {
+namespace {
+
+TEST(Corpus, ExecveWithStringArrayAndComment) {
+  const auto rec = parse_line(
+      R"(9054  08:55:54.100000 execve("/bin/ls", ["ls", "-l"], 0x7ffd7a7a7a /* 23 vars */) = 0 <0.000250>)");
+  ASSERT_TRUE(rec);
+  EXPECT_EQ(rec->call, "execve");
+  EXPECT_EQ(rec->retval, 0);
+  EXPECT_EQ(rec->duration, 250);
+}
+
+TEST(Corpus, FstatWithStructDump) {
+  const auto rec = parse_line(
+      "9054  08:55:54.100100 fstat(3</etc/passwd>, {st_mode=S_IFREG|0644, st_size=2996, "
+      "st_blocks=8, ...}) = 0 <0.000007>");
+  ASSERT_TRUE(rec);
+  EXPECT_EQ(rec->call, "fstat");
+  EXPECT_EQ(rec->fd, 3);
+  EXPECT_EQ(rec->path, "/etc/passwd");
+  EXPECT_EQ(rec->retval, 0);
+}
+
+TEST(Corpus, MmapHexReturn) {
+  const auto rec = parse_line(
+      "9054  08:55:54.100200 mmap(NULL, 139264, PROT_READ|PROT_EXEC, MAP_PRIVATE|MAP_DENYWRITE, "
+      "3</usr/lib/x86_64-linux-gnu/libc.so.6>, 0x28000) = 0x7f1a2b400000 <0.000012>");
+  ASSERT_TRUE(rec);
+  EXPECT_EQ(rec->call, "mmap");
+  EXPECT_FALSE(rec->retval);  // pointer, not a transfer size
+  EXPECT_EQ(rec->path, "/usr/lib/x86_64-linux-gnu/libc.so.6");
+}
+
+TEST(Corpus, Getdents64) {
+  const auto rec = parse_line(
+      "9054  08:55:54.100300 getdents64(3</tmp>, 0x55f1c2a3b0, 32768) = 1024 <0.000031>");
+  ASSERT_TRUE(rec);
+  EXPECT_EQ(rec->retval, 1024);
+  EXPECT_EQ(rec->path, "/tmp");
+  EXPECT_FALSE(rec->is_data_transfer());  // dirents are not payload bytes
+}
+
+TEST(Corpus, RtSigactionWithNestedBraces) {
+  const auto rec = parse_line(
+      "9054  08:55:54.100400 rt_sigaction(SIGINT, {sa_handler=SIG_DFL, sa_mask=[], "
+      "sa_flags=SA_RESTORER, sa_restorer=0x7f1a2b445520}, NULL, 8) = 0 <0.000004>");
+  ASSERT_TRUE(rec);
+  EXPECT_EQ(rec->call, "rt_sigaction");
+  EXPECT_EQ(rec->retval, 0);
+}
+
+TEST(Corpus, CloneReturnsChildPid) {
+  const auto rec = parse_line(
+      "9042  08:55:54.090000 clone(child_stack=NULL, "
+      "flags=CLONE_CHILD_CLEARTID|CLONE_CHILD_SETTID|SIGCHLD, "
+      "child_tidptr=0x7f1a2b3f0a10) = 9054 <0.000090>");
+  ASSERT_TRUE(rec);
+  EXPECT_EQ(rec->retval, 9054);
+}
+
+TEST(Corpus, BrkNullArgument) {
+  const auto rec = parse_line("9054  08:55:54.100500 brk(NULL) = 0x55f1c2a00000 <0.000003>");
+  ASSERT_TRUE(rec);
+  EXPECT_EQ(rec->call, "brk");
+  EXPECT_FALSE(rec->retval);
+}
+
+TEST(Corpus, SocketAnnotation) {
+  const auto rec = parse_line(
+      "9054  08:55:54.100600 sendto(4<socket:[1234567]>, \"GET / HTTP/1.1\\r\\n\", 16, "
+      "MSG_NOSIGNAL, NULL, 0) = 16 <0.000044>");
+  ASSERT_TRUE(rec);
+  EXPECT_EQ(rec->fd, 4);
+  EXPECT_EQ(rec->path, "socket:[1234567]");
+  EXPECT_EQ(rec->retval, 16);
+}
+
+TEST(Corpus, TruncatedPayloadEllipsis) {
+  const auto rec = parse_line(
+      R"(9054  08:55:54.100700 read(3</etc/locale.alias>, "# Locale name alias data base"..., 4096) = 2996 <0.000041>)");
+  ASSERT_TRUE(rec);
+  EXPECT_EQ(rec->retval, 2996);
+  EXPECT_EQ(rec->requested, 4096);
+}
+
+TEST(Corpus, DevicePathWithNestedAngleBrackets) {
+  // Some strace builds append device numbers: 1</dev/pts/7<char 136:7>>.
+  const auto rec = parse_line(
+      "9054  08:55:54.100800 write(1</dev/pts/7<char 136:7>>, \"x\\n\", 2) = 2 <0.000020>");
+  ASSERT_TRUE(rec);
+  EXPECT_EQ(rec->fd, 1);
+  // The annotation keeps the inner decoration; path-based filters on
+  // "/dev/pts" still match.
+  EXPECT_EQ(rec->path.substr(0, 10), "/dev/pts/7");
+  EXPECT_EQ(rec->retval, 2);
+}
+
+TEST(Corpus, FutexEtimedout) {
+  const auto rec = parse_line(
+      "9054  08:55:54.100900 futex(0x55f1c2a3b0, FUTEX_WAIT_PRIVATE, 2, {tv_sec=0, "
+      "tv_nsec=100000}) = -1 ETIMEDOUT (Connection timed out) <0.000130>");
+  ASSERT_TRUE(rec);
+  EXPECT_EQ(rec->retval, -1);
+  EXPECT_EQ(rec->errno_name, "ETIMEDOUT");
+}
+
+TEST(Corpus, StatxWithMaskFlags) {
+  const auto rec = parse_line(
+      "9054  08:55:54.101000 statx(AT_FDCWD, \"/p/scratch/ssf/test\", "
+      "AT_STATX_SYNC_AS_STAT, STATX_ALL, {stx_mask=STATX_ALL, stx_size=50331648, ...}) = 0 "
+      "<0.000015>");
+  ASSERT_TRUE(rec);
+  EXPECT_EQ(rec->call, "statx");
+  EXPECT_EQ(rec->retval, 0);
+}
+
+TEST(Corpus, IoctlWeirdArgs) {
+  const auto rec = parse_line(
+      "9054  08:55:54.101100 ioctl(1</dev/pts/7>, TCGETS, {B38400 opost isig icanon echo "
+      "...}) = 0 <0.000008>");
+  ASSERT_TRUE(rec);
+  EXPECT_EQ(rec->call, "ioctl");
+}
+
+TEST(Corpus, WholeCorpusThroughReaderNoCrashes) {
+  const std::string corpus =
+      "9054  08:55:54.100000 execve(\"/bin/ls\", [\"ls\"], 0x7f /* 23 vars */) = 0 <0.000250>\n"
+      "9054  08:55:54.100100 brk(NULL) = 0x55f1c2a00000 <0.000003>\n"
+      "garbage that is not a record at all\n"
+      "9054  08:55:54.100200 openat(AT_FDCWD, \"/etc/ld.so.cache\", O_RDONLY|O_CLOEXEC) = "
+      "3</etc/ld.so.cache> <0.000009>\n"
+      "9054  08:55:54.100300 read(3</etc/ld.so.cache>, \"\\177ELF\\2\\1\\1\\3\"..., 832) = 832 "
+      "<0.000011>\n"
+      "9054  08:55:54.100400 close(3</etc/ld.so.cache>) = 0 <0.000004>\n"
+      "9054  08:55:54.100500 --- SIGCHLD {si_signo=SIGCHLD} ---\n"
+      "9054  08:55:54.100600 +++ exited with 0 +++\n";
+  const auto result = read_trace_text(corpus);
+  EXPECT_EQ(result.warnings.size(), 1u);  // only the garbage line
+  // execve, brk, openat, read, close (signal/exit dropped).
+  EXPECT_EQ(result.records.size(), 5u);
+  // The openat resolved its path from the annotated return value.
+  EXPECT_EQ(result.records[2].path, "/etc/ld.so.cache");
+  EXPECT_EQ(result.records[2].retval, 3);
+}
+
+TEST(Corpus, OpenatAnnotatedReturnResolvesRelativePath) {
+  const auto rec = parse_line(
+      "9054  08:55:54.101200 openat(AT_FDCWD, \"test\", O_RDONLY) = "
+      "5</p/scratch/ssf/test> <0.000020>");
+  ASSERT_TRUE(rec);
+  // The quoted argument wins when non-empty; the annotation is kept
+  // only when the argument produced nothing.
+  EXPECT_EQ(rec->path, "test");
+  EXPECT_EQ(rec->retval, 5);
+}
+
+TEST(Corpus, EscapedOctalInPayloadDoesNotConfuseParser) {
+  const auto rec = parse_line(
+      R"(9054  08:55:54.101300 read(3</bin/ls>, "\177ELF\2\1\1\0\0\0"..., 832) = 832 <0.000010>)");
+  ASSERT_TRUE(rec);
+  EXPECT_EQ(rec->retval, 832);
+  EXPECT_EQ(rec->path, "/bin/ls");
+}
+
+TEST(Corpus, QuotedParenAndCommaInPayload) {
+  const auto rec = parse_line(
+      R"(9054  08:55:54.101400 write(1</dev/pts/7>, "a, b) = x <zzz>\n", 15) = 15 <0.000009>)");
+  ASSERT_TRUE(rec);
+  EXPECT_EQ(rec->retval, 15);
+  EXPECT_EQ(rec->requested, 15);
+}
+
+}  // namespace
+}  // namespace st::strace

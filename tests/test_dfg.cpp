@@ -1,0 +1,184 @@
+#include "dfg/dfg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing_util.hpp"
+
+namespace st::dfg {
+namespace {
+
+using model::ActivityTrace;
+
+TEST(Dfg, SingleTraceEdges) {
+  Dfg g;
+  g.add_trace({"a", "b", "c"});
+  EXPECT_EQ(g.edge_count(Dfg::start_node(), "a"), 1u);
+  EXPECT_EQ(g.edge_count("a", "b"), 1u);
+  EXPECT_EQ(g.edge_count("b", "c"), 1u);
+  EXPECT_EQ(g.edge_count("c", Dfg::end_node()), 1u);
+  EXPECT_EQ(g.trace_count(), 1u);
+}
+
+TEST(Dfg, SelfLoopFromRepeatedActivity) {
+  Dfg g;
+  g.add_trace({"a", "a", "a"});
+  EXPECT_EQ(g.edge_count("a", "a"), 2u);
+  EXPECT_EQ(g.node_count("a"), 3u);
+}
+
+TEST(Dfg, MultiplicityScalesCounts) {
+  Dfg g;
+  g.add_trace({"a", "b"}, 3);
+  EXPECT_EQ(g.edge_count("a", "b"), 3u);
+  EXPECT_EQ(g.node_count("a"), 3u);
+  EXPECT_EQ(g.trace_count(), 3u);
+}
+
+TEST(Dfg, EmptyTraceConnectsStartToEnd) {
+  Dfg g;
+  g.add_trace({}, 2);
+  EXPECT_EQ(g.edge_count(Dfg::start_node(), Dfg::end_node()), 2u);
+}
+
+TEST(Dfg, ZeroMultiplicityIsNoop) {
+  Dfg g;
+  g.add_trace({"a"}, 0);
+  EXPECT_TRUE(g.empty());
+}
+
+TEST(Dfg, EdgeExistenceIffDirectlyFollows) {
+  // a1 -> a2 exists iff a1 immediately precedes a2 in some trace.
+  Dfg g;
+  g.add_trace({"a", "b", "c"});
+  EXPECT_TRUE(g.has_edge("a", "b"));
+  EXPECT_FALSE(g.has_edge("a", "c"));  // transitive, not direct
+  EXPECT_FALSE(g.has_edge("b", "a"));  // direction matters
+}
+
+TEST(Dfg, ActivitiesExcludeMarkers) {
+  Dfg g;
+  g.add_trace({"x", "y"});
+  EXPECT_EQ(g.activities(), (std::set<model::Activity>{"x", "y"}));
+  EXPECT_TRUE(g.has_node(Dfg::start_node()));
+  EXPECT_TRUE(g.has_node(Dfg::end_node()));
+}
+
+// The paper's worked example: L(Ca) = {<read:/usr/lib x3,
+// read:/proc/filesystems x2, read:/etc/locale.alias x2,
+// write:/dev/pts>^3} produces the Fig. 3b edge numbers.
+TEST(Dfg, PaperFig3bEdgeFrequencies) {
+  const ActivityTrace ls_trace{
+      "read:/usr/lib",          "read:/usr/lib",          "read:/usr/lib",
+      "read:/proc/filesystems", "read:/proc/filesystems", "read:/etc/locale.alias",
+      "read:/etc/locale.alias", "write:/dev/pts",
+  };
+  Dfg g;
+  g.add_trace(ls_trace, 3);
+
+  EXPECT_EQ(g.edge_count(Dfg::start_node(), "read:/usr/lib"), 3u);
+  EXPECT_EQ(g.edge_count("read:/usr/lib", "read:/usr/lib"), 6u);  // the "6" in Fig. 3b
+  EXPECT_EQ(g.edge_count("read:/usr/lib", "read:/proc/filesystems"), 3u);
+  EXPECT_EQ(g.edge_count("read:/proc/filesystems", "read:/proc/filesystems"), 3u);
+  EXPECT_EQ(g.edge_count("read:/proc/filesystems", "read:/etc/locale.alias"), 3u);
+  EXPECT_EQ(g.edge_count("read:/etc/locale.alias", "read:/etc/locale.alias"), 3u);
+  EXPECT_EQ(g.edge_count("read:/etc/locale.alias", "write:/dev/pts"), 3u);
+  EXPECT_EQ(g.edge_count("write:/dev/pts", Dfg::end_node()), 3u);
+}
+
+TEST(Dfg, BuildFromActivityLogMatchesManualConstruction) {
+  model::EventLog log;
+  log.add_case(testing::make_case("a", 1, {testing::ev("x", "", 0, 1), testing::ev("y", "", 1, 1)}));
+  log.add_case(testing::make_case("a", 2, {testing::ev("x", "", 0, 1), testing::ev("y", "", 1, 1)}));
+  const auto al = model::ActivityLog::build(log, model::Mapping::call_only());
+  const Dfg from_log = Dfg::build(al);
+
+  Dfg manual;
+  manual.add_trace({"x", "y"}, 2);
+  EXPECT_EQ(from_log, manual);
+}
+
+// ---- merge: abelian monoid ------------------------------------------------
+
+TEST(DfgMerge, IdentityElement) {
+  Dfg g;
+  g.add_trace({"a", "b"});
+  Dfg copy = g;
+  copy.merge(Dfg{});
+  EXPECT_EQ(copy, g);
+
+  Dfg empty;
+  empty.merge(g);
+  EXPECT_EQ(empty, g);
+}
+
+TEST(DfgMerge, AddsCounts) {
+  Dfg g1;
+  g1.add_trace({"a", "b"});
+  Dfg g2;
+  g2.add_trace({"a", "b"});
+  g2.add_trace({"b", "c"});
+  g1.merge(g2);
+  EXPECT_EQ(g1.edge_count("a", "b"), 2u);
+  EXPECT_EQ(g1.edge_count("b", "c"), 1u);
+  EXPECT_EQ(g1.trace_count(), 3u);
+}
+
+TEST(DfgMerge, Commutative) {
+  Dfg g1;
+  g1.add_trace({"a", "b"}, 2);
+  Dfg g2;
+  g2.add_trace({"c"}, 5);
+
+  Dfg left = g1;
+  left.merge(g2);
+  Dfg right = g2;
+  right.merge(g1);
+  EXPECT_EQ(left, right);
+}
+
+TEST(DfgMerge, Associative) {
+  Dfg a;
+  a.add_trace({"x"});
+  Dfg b;
+  b.add_trace({"x", "y"});
+  Dfg c;
+  c.add_trace({"y", "x"});
+
+  Dfg ab = a;
+  ab.merge(b);
+  Dfg ab_c = ab;
+  ab_c.merge(c);
+
+  Dfg bc = b;
+  bc.merge(c);
+  Dfg a_bc = a;
+  a_bc.merge(bc);
+
+  EXPECT_EQ(ab_c, a_bc);
+}
+
+TEST(DfgMerge, MergeOfSplitLogEqualsWholeLog) {
+  // G[L(Ca)] + G[L(Cb)] == G[L(Ca ∪ Cb)] — the Fig. 3d observation
+  // that the union DFG's counts are the sums.
+  const ActivityTrace t1{"p", "q"};
+  const ActivityTrace t2{"p", "q", "r"};
+  Dfg whole;
+  whole.add_trace(t1, 3);
+  whole.add_trace(t2, 3);
+
+  Dfg part_a;
+  part_a.add_trace(t1, 3);
+  Dfg part_b;
+  part_b.add_trace(t2, 3);
+  part_a.merge(part_b);
+  EXPECT_EQ(part_a, whole);
+}
+
+TEST(Dfg, StartEndMarkersAreStableConstants) {
+  EXPECT_EQ(Dfg::start_node(), "●");
+  EXPECT_EQ(Dfg::end_node(), "■");
+  EXPECT_NE(Dfg::start_node(), Dfg::end_node());
+}
+
+}  // namespace
+}  // namespace st::dfg

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "elog/store.hpp"
+#include "support/errors.hpp"
+#include "support/rng.hpp"
+#include "testing_util.hpp"
+
+namespace st::elog {
+namespace {
+
+using testing::ev;
+using testing::make_case;
+
+model::EventLog sample_log() {
+  model::EventLog log;
+  log.add_case(make_case("a", 9042,
+                         {ev("read", "/usr/lib/x/libselinux.so.1", 100, 203, 832),
+                          ev("read", "/usr/lib/x/libselinux.so.1", 400, 79, 832),
+                          ev("write", "/dev/pts/7", 600, 111, 50)}));
+  log.add_case(make_case("b", 9157, {ev("openat", "/p/scratch/ssf/test", 0, 25, -1)}, "node2"));
+  return log;
+}
+
+bool logs_equal(const model::EventLog& a, const model::EventLog& b) {
+  if (a.case_count() != b.case_count()) return false;
+  for (std::size_t i = 0; i < a.case_count(); ++i) {
+    const auto& ca = a.cases()[i];
+    const auto& cb = b.cases()[i];
+    if (ca.id() != cb.id() || ca.size() != cb.size()) return false;
+    for (std::size_t j = 0; j < ca.size(); ++j) {
+      if (!(ca.events()[j] == cb.events()[j])) return false;
+    }
+  }
+  return true;
+}
+
+TEST(Elog, RoundTripThroughStream) {
+  const auto log = sample_log();
+  std::stringstream buf;
+  write_event_log(buf, log);
+  const auto reloaded = read_event_log(buf);
+  EXPECT_TRUE(logs_equal(log, reloaded));
+}
+
+TEST(Elog, RoundTripEmptyLog) {
+  std::stringstream buf;
+  write_event_log(buf, model::EventLog{});
+  EXPECT_EQ(read_event_log(buf).case_count(), 0u);
+}
+
+TEST(Elog, RoundTripEmptyCase) {
+  model::EventLog log;
+  log.add_case(make_case("a", 1, {}));
+  std::stringstream buf;
+  write_event_log(buf, log);
+  const auto reloaded = read_event_log(buf);
+  EXPECT_EQ(reloaded.case_count(), 1u);
+  EXPECT_EQ(reloaded.cases()[0].size(), 0u);
+}
+
+TEST(Elog, RoundTripThroughFile) {
+  const std::string path = ::testing::TempDir() + "/elog_roundtrip.elog";
+  write_event_log_file(path, sample_log());
+  EXPECT_TRUE(logs_equal(sample_log(), read_event_log_file(path)));
+  std::filesystem::remove(path);
+}
+
+TEST(Elog, MissingFileThrows) {
+  EXPECT_THROW((void)read_event_log_file("/nonexistent/x.elog"), IoError);
+}
+
+TEST(Elog, BadMagicThrows) {
+  std::stringstream buf("NOTELOG0rest of data");
+  EXPECT_THROW((void)read_event_log(buf), IoError);
+}
+
+TEST(Elog, TruncationThrows) {
+  std::stringstream buf;
+  write_event_log(buf, sample_log());
+  const std::string data = buf.str();
+  for (const std::size_t cut : {data.size() / 4, data.size() / 2, data.size() - 3}) {
+    std::stringstream cut_buf(data.substr(0, cut));
+    EXPECT_THROW((void)read_event_log(cut_buf), IoError) << "cut at " << cut;
+  }
+}
+
+// Failure injection: flipping any payload byte must surface as a CRC
+// error (or a structural IoError if the flip lands in framing).
+TEST(Elog, CorruptionDetectedAtManyOffsets) {
+  std::stringstream buf;
+  write_event_log(buf, sample_log());
+  const std::string data = buf.str();
+  Xoshiro256 rng(99);
+  int detected = 0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    std::string corrupt = data;
+    // Skip the magic (first 8 bytes): bad magic is its own test.
+    const std::size_t pos = 8 + rng.below(corrupt.size() - 8);
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ (1 + rng.below(255)));
+    std::stringstream cbuf(corrupt);
+    try {
+      const auto reloaded = read_event_log(cbuf);
+      // A flip in the case-count field can only shrink/grow structure;
+      // reads that "succeed" must at least differ from the original.
+      if (!logs_equal(sample_log(), reloaded)) ++detected;
+    } catch (const Error&) {
+      ++detected;
+    }
+  }
+  EXPECT_EQ(detected, trials);
+}
+
+TEST(Elog, StringPoolDeduplicatesPaths) {
+  // 1000 events on one path must store the path once, not 1000 times.
+  model::EventLog log;
+  std::vector<model::Event> events;
+  const std::string path = "/p/scratch/ssf/a-rather-long-file-path-name";
+  for (int i = 0; i < 1000; ++i) events.push_back(ev("write", path, i * 10, 5, 100));
+  log.add_case(make_case("w", 1, std::move(events)));
+  std::stringstream buf;
+  write_event_log(buf, log);
+  const std::string data = buf.str();
+
+  std::size_t occurrences = 0;
+  for (std::size_t pos = data.find(path); pos != std::string::npos;
+       pos = data.find(path, pos + 1)) {
+    ++occurrences;
+  }
+  EXPECT_EQ(occurrences, 1u);
+  std::stringstream reread(data);
+  EXPECT_TRUE(logs_equal(log, read_event_log(reread)));
+}
+
+TEST(Elog, PreservesEventOrderAndIdentity) {
+  const auto reloaded = [] {
+    std::stringstream buf;
+    write_event_log(buf, sample_log());
+    return read_event_log(buf);
+  }();
+  const auto* c = reloaded.find_case(model::CaseId{"b", "node2", 9157});
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->events()[0].call, "openat");
+  EXPECT_EQ(c->events()[0].cid, "b");
+  EXPECT_EQ(c->events()[0].host, "node2");
+  EXPECT_EQ(c->events()[0].size, -1);
+}
+
+TEST(ElogAppender, IncrementalWriteMatchesBulkWrite) {
+  const std::string path = ::testing::TempDir() + "/appender.elog";
+  const auto log = sample_log();
+  {
+    ElogAppender appender(path);
+    for (const auto& c : log.cases()) appender.append(c);
+    EXPECT_EQ(appender.cases_written(), 2u);
+    appender.finalize();
+  }
+  EXPECT_TRUE(logs_equal(sample_log(), read_event_log_file(path)));
+  std::filesystem::remove(path);
+}
+
+TEST(ElogAppender, DestructorFinalizes) {
+  const std::string path = ::testing::TempDir() + "/appender_dtor.elog";
+  const auto log = sample_log();
+  {
+    ElogAppender appender(path);
+    appender.append(log.cases()[0]);
+  }  // no explicit finalize
+  EXPECT_EQ(read_event_log_file(path).case_count(), 1u);
+  std::filesystem::remove(path);
+}
+
+TEST(ElogAppender, AppendAfterFinalizeThrows) {
+  const std::string path = ::testing::TempDir() + "/appender_after.elog";
+  const auto log = sample_log();
+  ElogAppender appender(path);
+  appender.finalize();
+  EXPECT_THROW(appender.append(log.cases()[0]), LogicError);
+  std::filesystem::remove(path);
+}
+
+TEST(ElogAppender, FinalizeIsIdempotent) {
+  const std::string path = ::testing::TempDir() + "/appender_idem.elog";
+  const auto log = sample_log();
+  ElogAppender appender(path);
+  appender.append(log.cases()[0]);
+  appender.finalize();
+  appender.finalize();
+  EXPECT_EQ(read_event_log_file(path).case_count(), 1u);
+  std::filesystem::remove(path);
+}
+
+TEST(ElogAppender, EmptyFileReadsAsEmptyLog) {
+  const std::string path = ::testing::TempDir() + "/appender_empty.elog";
+  ElogAppender(path).finalize();
+  EXPECT_EQ(read_event_log_file(path).case_count(), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(Elog, LargeRandomLogRoundTrips) {
+  Xoshiro256 rng(7);
+  model::EventLog log;
+  for (int c = 0; c < 20; ++c) {
+    std::vector<model::Event> events;
+    const std::size_t n = rng.below(200);
+    for (std::size_t i = 0; i < n; ++i) {
+      events.push_back(ev(rng.below(2) != 0 ? "read" : "write",
+                          "/p/" + std::to_string(rng.below(10)),
+                          static_cast<Micros>(rng.below(100000)),
+                          static_cast<Micros>(rng.below(500)),
+                          static_cast<std::int64_t>(rng.below(1 << 20)) - 1));
+    }
+    log.add_case(make_case("r", static_cast<std::uint64_t>(c + 1), std::move(events)));
+  }
+  std::stringstream buf;
+  write_event_log(buf, log);
+  EXPECT_TRUE(logs_equal(log, read_event_log(buf)));
+}
+
+}  // namespace
+}  // namespace st::elog

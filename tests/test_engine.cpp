@@ -1,0 +1,350 @@
+#include "iosim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "des/simulator.hpp"
+#include "strace/parser.hpp"
+#include "strace/writer.hpp"
+#include "support/errors.hpp"
+
+namespace st::iosim {
+namespace {
+
+/// Runs `body` as a single simulated process and returns its records.
+template <class Body>
+std::vector<strace::RawRecord> run_single(Body body, CostModel model = {}) {
+  des::Simulator sim;
+  model.jitter_sigma = 0.0;  // exact service times for assertions
+  IoSystem io(sim, model, 1);
+  ProcessContext proc(100, 0);
+  sim.spawn(body(io, proc));
+  sim.run();
+  return proc.records();
+}
+
+TEST(Engine, OpenWriteCloseSequence) {
+  const auto records = run_single([](IoSystem& io, ProcessContext& proc) -> des::Proc<> {
+    const int fd = co_await io.sys_openat(proc, "/p/scratch/ssf/test", true);
+    co_await io.sys_write(proc, fd, 1 << 20);
+    co_await io.sys_close(proc, fd);
+  });
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].call, "openat");
+  EXPECT_EQ(records[1].call, "write");
+  EXPECT_EQ(records[2].call, "close");
+  EXPECT_EQ(records[0].path, "/p/scratch/ssf/test");
+  EXPECT_EQ(records[1].retval, 1 << 20);
+}
+
+TEST(Engine, RecordsRoundTripThroughStraceParser) {
+  const auto records = run_single([](IoSystem& io, ProcessContext& proc) -> des::Proc<> {
+    const int fd = co_await io.sys_openat(proc, "/p/scratch/ssf/test", true);
+    co_await io.sys_lseek(proc, fd, 1048576);
+    co_await io.sys_write(proc, fd, 1048576);
+    co_await io.sys_pread64(proc, fd, 65536, 0);
+    co_await io.sys_fsync(proc, fd);
+    co_await io.sys_close(proc, fd);
+  });
+  for (const auto& rec : records) {
+    const auto reparsed = strace::parse_line(strace::format_record(rec));
+    ASSERT_TRUE(reparsed) << rec.call;
+    EXPECT_EQ(reparsed->call, rec.call);
+    EXPECT_EQ(reparsed->pid, rec.pid);
+    EXPECT_EQ(reparsed->timestamp, rec.timestamp);
+    EXPECT_EQ(reparsed->duration, rec.duration);
+    EXPECT_EQ(reparsed->retval, rec.retval);
+    EXPECT_EQ(reparsed->path, rec.path) << rec.call;
+  }
+}
+
+TEST(Engine, TimestampsAreMonotonicAndDurationsPositive) {
+  const auto records = run_single([](IoSystem& io, ProcessContext& proc) -> des::Proc<> {
+    const int fd = co_await io.sys_openat(proc, "/p/f", true);
+    for (int i = 0; i < 10; ++i) co_await io.sys_write(proc, fd, 4096);
+    co_await io.sys_close(proc, fd);
+  });
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_GE(records[i].timestamp, records[i - 1].timestamp);
+  }
+  for (const auto& rec : records) {
+    ASSERT_TRUE(rec.duration);
+    EXPECT_GT(*rec.duration, 0);
+  }
+}
+
+TEST(Engine, SequentialWritesAdvanceOffset) {
+  des::Simulator sim;
+  CostModel model;
+  model.jitter_sigma = 0.0;
+  IoSystem io(sim, model, 1);
+  ProcessContext proc(1, 0);
+  auto body = [](IoSystem& ios, ProcessContext& p) -> des::Proc<> {
+    const int fd = co_await ios.sys_openat(p, "/p/f", true);
+    co_await ios.sys_write(p, fd, 100);
+    co_await ios.sys_write(p, fd, 100);
+  };
+  sim.spawn(body(io, proc));
+  sim.run();
+  EXPECT_EQ(io.fs().find("/p/f")->size, 200);
+}
+
+TEST(Engine, LseekRepositionsWrites) {
+  des::Simulator sim;
+  CostModel model;
+  model.jitter_sigma = 0.0;
+  IoSystem io(sim, model, 1);
+  ProcessContext proc(1, 0);
+  auto body = [](IoSystem& ios, ProcessContext& p) -> des::Proc<> {
+    const int fd = co_await ios.sys_openat(p, "/p/f", true);
+    co_await ios.sys_lseek(p, fd, 1000);
+    co_await ios.sys_write(p, fd, 100);
+  };
+  sim.spawn(body(io, proc));
+  sim.run();
+  EXPECT_EQ(io.fs().find("/p/f")->size, 1100);
+}
+
+TEST(Engine, PwriteExtendsFileByOffset) {
+  des::Simulator sim;
+  CostModel model;
+  model.jitter_sigma = 0.0;
+  IoSystem io(sim, model, 1);
+  ProcessContext proc(1, 0);
+  auto body = [](IoSystem& ios, ProcessContext& p) -> des::Proc<> {
+    const int fd = co_await ios.sys_openat(p, "/p/f", true);
+    co_await ios.sys_pwrite64(p, fd, 100, 5000);
+  };
+  sim.spawn(body(io, proc));
+  sim.run();
+  EXPECT_EQ(io.fs().find("/p/f")->size, 5100);
+}
+
+TEST(Engine, FsyncClearsDirtyBytes) {
+  des::Simulator sim;
+  CostModel model;
+  model.jitter_sigma = 0.0;
+  IoSystem io(sim, model, 1);
+  ProcessContext proc(1, 0);
+  auto body = [](IoSystem& ios, ProcessContext& p) -> des::Proc<> {
+    const int fd = co_await ios.sys_openat(p, "/p/f", true);
+    co_await ios.sys_write(p, fd, 1 << 20);
+    co_await ios.sys_fsync(p, fd);
+  };
+  sim.spawn(body(io, proc));
+  sim.run();
+  EXPECT_EQ(io.fs().find("/p/f")->dirty_bytes, 0);
+}
+
+TEST(Engine, BadFdThrowsLogicError) {
+  EXPECT_THROW(run_single([](IoSystem& io, ProcessContext& proc) -> des::Proc<> {
+                 co_await io.sys_write(proc, 99, 100);
+               }),
+               LogicError);
+}
+
+TEST(Engine, WallclockBaseOffsetsTimestamps) {
+  des::Simulator sim;
+  CostModel model;
+  model.jitter_sigma = 0.0;
+  IoSystem io(sim, model, 1);
+  const Micros base = 10LL * 3600 * kMicrosPerSecond;
+  ProcessContext proc(1, base);
+  auto body = [](IoSystem& ios, ProcessContext& p) -> des::Proc<> {
+    (void)co_await ios.sys_openat(p, "/p/f", true);
+  };
+  sim.spawn(body(io, proc));
+  sim.run();
+  EXPECT_GE(proc.records().front().timestamp, base);
+}
+
+// Contention behaviour: N concurrent writers on ONE inode must record
+// longer write durations than N writers on N separate inodes.
+TEST(Engine, SharedInodeWritesSlowerThanPrivate) {
+  auto total_write_dur = [](bool shared) {
+    des::Simulator sim;
+    CostModel model;
+    model.jitter_sigma = 0.0;
+    IoSystem io(sim, model, 1);
+    std::vector<std::unique_ptr<ProcessContext>> procs;
+    for (int i = 0; i < 8; ++i) procs.push_back(std::make_unique<ProcessContext>(100 + i, 0));
+    auto body = [](IoSystem& ios, ProcessContext& p, std::string path) -> des::Proc<> {
+      const int fd = co_await ios.sys_openat(p, path, true);
+      // Align all writers at a common virtual time (the open convoy
+      // staggers them otherwise), as IOR's post-open barrier does.
+      co_await ios.sim().delay(200000 - ios.sim().now());
+      for (int k = 0; k < 4; ++k) co_await ios.sys_write(p, fd, 1 << 20);
+      co_await ios.sys_close(p, fd);
+    };
+    for (int i = 0; i < 8; ++i) {
+      const std::string path = shared ? "/p/shared" : "/p/own." + std::to_string(i);
+      sim.spawn(body(io, *procs[static_cast<std::size_t>(i)], path));
+    }
+    sim.run();
+    Micros total = 0;
+    for (const auto& p : procs) {
+      for (const auto& rec : p->records()) {
+        if (rec.call == "write") total += rec.duration.value_or(0);
+      }
+    }
+    return total;
+  };
+  const Micros shared = total_write_dur(true);
+  const Micros private_files = total_write_dur(false);
+  EXPECT_GT(shared, 2 * private_files);
+}
+
+// Shared opens pay per-prior-opener token revocation.
+TEST(Engine, SharedOpenConvoy) {
+  des::Simulator sim;
+  CostModel model;
+  model.jitter_sigma = 0.0;
+  IoSystem io(sim, model, 1);
+  std::vector<std::unique_ptr<ProcessContext>> procs;
+  for (int i = 0; i < 4; ++i) procs.push_back(std::make_unique<ProcessContext>(100 + i, 0));
+  auto body = [](IoSystem& ios, ProcessContext& p) -> des::Proc<> {
+    (void)co_await ios.sys_openat(p, "/p/shared", true);
+  };
+  for (auto& p : procs) sim.spawn(body(io, *p));
+  sim.run();
+  std::vector<Micros> durations;
+  for (const auto& p : procs) durations.push_back(*p->records().front().duration);
+  // Strictly increasing: open i pays i token revocations.
+  for (std::size_t i = 1; i < durations.size(); ++i) {
+    EXPECT_GT(durations[i], durations[i - 1]);
+  }
+  EXPECT_GT(durations[3], static_cast<Micros>(3 * model.token_revoke_us * 0.9));
+}
+
+// Page cache: reading data written on the same host is DRAM-fast;
+// reading from another host goes to storage (why IOR uses -C).
+TEST(Engine, SameHostReadHitsPageCache) {
+  des::Simulator sim;
+  CostModel model;
+  model.jitter_sigma = 0.0;
+  IoSystem io(sim, model, 1);
+  ProcessContext writer(1, 0, 1, "node1");
+  ProcessContext local_reader(2, 0, 2, "node1");
+  ProcessContext remote_reader(3, 0, 3, "node2");
+
+  auto write_then_read = [](IoSystem& ios, ProcessContext& w, ProcessContext& lr,
+                            ProcessContext& rr) -> des::Proc<> {
+    const int wfd = co_await ios.sys_openat(w, "/p/scratch/f", true);
+    co_await ios.sys_write(w, wfd, 8 << 20);
+    co_await ios.sys_close(w, wfd);
+    const int lfd = co_await ios.sys_openat(lr, "/p/scratch/f", false);
+    co_await ios.sys_read(lr, lfd, 8 << 20);
+    co_await ios.sys_close(lr, lfd);
+    const int rfd = co_await ios.sys_openat(rr, "/p/scratch/f", false);
+    co_await ios.sys_read(rr, rfd, 8 << 20);
+    co_await ios.sys_close(rr, rfd);
+  };
+  sim.spawn(write_then_read(io, writer, local_reader, remote_reader));
+  sim.run();
+
+  const Micros local_dur = *local_reader.records()[1].duration;
+  const Micros remote_dur = *remote_reader.records()[1].duration;
+  // cache_read_bw (14 GB/s) vs read_bw (4.8 GB/s): ~2.9x faster.
+  EXPECT_LT(2 * local_dur, remote_dur);
+}
+
+TEST(Engine, PwriteMarksCacheForPread) {
+  des::Simulator sim;
+  CostModel model;
+  model.jitter_sigma = 0.0;
+  IoSystem io(sim, model, 1);
+  ProcessContext proc(1, 0, 1, "node1");
+  auto body = [](IoSystem& ios, ProcessContext& p) -> des::Proc<> {
+    const int fd = co_await ios.sys_openat(p, "/p/f", true);
+    co_await ios.sys_pwrite64(p, fd, 4 << 20, 0);
+    co_await ios.sys_pread64(p, fd, 4 << 20, 0);
+  };
+  sim.spawn(body(io, proc));
+  sim.run();
+  const auto& fs_node = *io.fs().find("/p/f");
+  EXPECT_TRUE(fs_node.is_cached("node1", 0, 4 << 20, io.model().cache_block_bytes));
+  EXPECT_FALSE(fs_node.is_cached("node2", 0, 4 << 20, io.model().cache_block_bytes));
+  // pread after own pwrite is cache-fast: faster than the pwrite.
+  EXPECT_LT(*proc.records()[2].duration, *proc.records()[1].duration);
+}
+
+TEST(Engine, StatReportsExistenceAndSize) {
+  des::Simulator sim;
+  CostModel model;
+  model.jitter_sigma = 0.0;
+  IoSystem io(sim, model, 1);
+  ProcessContext proc(1, 0);
+  std::int64_t before = -99;
+  std::int64_t after = -99;
+  auto body = [](IoSystem& ios, ProcessContext& p, std::int64_t& b, std::int64_t& a)
+      -> des::Proc<> {
+    b = co_await ios.sys_stat(p, "/p/f");
+    const int fd = co_await ios.sys_openat(p, "/p/f", true);
+    co_await ios.sys_write(p, fd, 100);
+    a = co_await ios.sys_stat(p, "/p/f");
+  };
+  sim.spawn(body(io, proc, before, after));
+  sim.run();
+  EXPECT_EQ(before, -1);  // ENOENT before creation
+  EXPECT_EQ(after, 0);
+  // The stat record carries the errno on failure.
+  EXPECT_EQ(proc.records()[0].call, "newfstatat");
+  EXPECT_EQ(proc.records()[0].errno_name, "ENOENT");
+  EXPECT_TRUE(proc.records()[3].errno_name.empty());
+}
+
+TEST(Engine, UnlinkRemovesFileAndCache) {
+  des::Simulator sim;
+  CostModel model;
+  model.jitter_sigma = 0.0;
+  IoSystem io(sim, model, 1);
+  ProcessContext proc(1, 0);
+  auto body = [](IoSystem& ios, ProcessContext& p) -> des::Proc<> {
+    const int fd = co_await ios.sys_openat(p, "/p/f", true);
+    co_await ios.sys_write(p, fd, 1 << 20);
+    co_await ios.sys_close(p, fd);
+    co_await ios.sys_unlink(p, "/p/f");
+  };
+  sim.spawn(body(io, proc));
+  sim.run();
+  const auto* node = io.fs().find("/p/f");
+  ASSERT_NE(node, nullptr);
+  EXPECT_FALSE(node->exists);
+  EXPECT_EQ(node->size, 0);
+  EXPECT_FALSE(node->is_cached("node1", 0, 4096, model.cache_block_bytes));
+  EXPECT_EQ(proc.records().back().call, "unlinkat");
+}
+
+TEST(Engine, StatAndUnlinkRoundTripThroughParser) {
+  const auto records = run_single([](IoSystem& io, ProcessContext& proc) -> des::Proc<> {
+    (void)co_await io.sys_stat(proc, "/p/scratch/ssf/test");
+    const int fd = co_await io.sys_openat(proc, "/p/scratch/ssf/test", true);
+    co_await io.sys_close(proc, fd);
+    co_await io.sys_unlink(proc, "/p/scratch/ssf/test");
+  });
+  for (const auto& rec : records) {
+    const auto reparsed = strace::parse_line(strace::format_record(rec));
+    ASSERT_TRUE(reparsed) << rec.call;
+    EXPECT_EQ(reparsed->call, rec.call);
+    EXPECT_EQ(reparsed->path, rec.path) << rec.call;
+  }
+}
+
+TEST(Engine, DeterministicForFixedSeed) {
+  auto run = [] {
+    return run_single([](IoSystem& io, ProcessContext& proc) -> des::Proc<> {
+      const int fd = co_await io.sys_openat(proc, "/p/f", true);
+      for (int i = 0; i < 20; ++i) co_await io.sys_write(proc, fd, 8192);
+      co_await io.sys_close(proc, fd);
+    });
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].timestamp, b[i].timestamp);
+    EXPECT_EQ(a[i].duration, b[i].duration);
+  }
+}
+
+}  // namespace
+}  // namespace st::iosim

@@ -1,0 +1,63 @@
+#include "strace/filename.hpp"
+
+#include <gtest/gtest.h>
+
+namespace st::strace {
+namespace {
+
+TEST(TraceFilename, PaperExampleA) {
+  const auto id = parse_trace_filename("a_host1_9042.st");
+  ASSERT_TRUE(id);
+  EXPECT_EQ(id->cid, "a");
+  EXPECT_EQ(id->host, "host1");
+  EXPECT_EQ(id->rid, 9042u);
+}
+
+TEST(TraceFilename, PaperExampleB) {
+  const auto id = parse_trace_filename("b_host1_9157.st");
+  ASSERT_TRUE(id);
+  EXPECT_EQ(id->cid, "b");
+  EXPECT_EQ(id->rid, 9157u);
+}
+
+TEST(TraceFilename, PathPrefixIgnored) {
+  const auto id = parse_trace_filename("/tmp/traces/ssf_node2_20095.st");
+  ASSERT_TRUE(id);
+  EXPECT_EQ(id->cid, "ssf");
+  EXPECT_EQ(id->host, "node2");
+  EXPECT_EQ(id->rid, 20095u);
+}
+
+TEST(TraceFilename, HostMayContainUnderscores) {
+  const auto id = parse_trace_filename("a_jwc_01_23_77.st");
+  ASSERT_TRUE(id);
+  EXPECT_EQ(id->cid, "a");
+  EXPECT_EQ(id->host, "jwc_01_23");
+  EXPECT_EQ(id->rid, 77u);
+}
+
+TEST(TraceFilename, RejectsWrongSuffix) {
+  EXPECT_FALSE(parse_trace_filename("a_host1_9042.txt"));
+}
+
+TEST(TraceFilename, RejectsTooFewParts) {
+  EXPECT_FALSE(parse_trace_filename("a_9042.st"));
+  EXPECT_FALSE(parse_trace_filename("9042.st"));
+}
+
+TEST(TraceFilename, RejectsNonNumericRid) {
+  EXPECT_FALSE(parse_trace_filename("a_host1_xyz.st"));
+}
+
+TEST(TraceFilename, RejectsEmptyCid) {
+  EXPECT_FALSE(parse_trace_filename("_host1_9042.st"));
+}
+
+TEST(TraceFilename, FormatRoundTrip) {
+  const TraceFileId id{"fpp", "node2", 30017};
+  EXPECT_EQ(format_trace_filename(id), "fpp_node2_30017.st");
+  EXPECT_EQ(parse_trace_filename(format_trace_filename(id)), id);
+}
+
+}  // namespace
+}  // namespace st::strace

@@ -1,0 +1,134 @@
+#include "parallel/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "parallel/thread_pool.hpp"
+
+namespace st {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTask) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitWithArguments) {
+  ThreadPool pool(2);
+  auto f = pool.submit([](int a, int b) { return a * b; }, 6, 7);
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPool, WaitIdleDrains) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    (void)pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SizeReflectsWorkers) {
+  ThreadPool pool(5);
+  EXPECT_EQ(pool.size(), 5u);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ParallelFor, CoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  parallel_for(pool, 5, 5, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for(pool, 0, 100,
+                   [](std::size_t i) {
+                     if (i == 50) throw std::runtime_error("body failed");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelMap, PreservesOrder) {
+  ThreadPool pool(4);
+  std::vector<int> in(257);
+  std::iota(in.begin(), in.end(), 0);
+  const auto out = parallel_map(pool, in, [](int v) { return v * 2; });
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) EXPECT_EQ(out[i], static_cast<int>(i) * 2);
+}
+
+TEST(MapReduce, SumsChunks) {
+  ThreadPool pool(4);
+  const std::size_t n = 10000;
+  const auto total = map_reduce(
+      pool, n, std::int64_t{0},
+      [](std::size_t lo, std::size_t hi) {
+        std::int64_t s = 0;
+        for (std::size_t i = lo; i < hi; ++i) s += static_cast<std::int64_t>(i);
+        return s;
+      },
+      [](std::int64_t a, std::int64_t b) { return a + b; });
+  EXPECT_EQ(total, static_cast<std::int64_t>(n) * (n - 1) / 2);
+}
+
+TEST(MapReduce, EmptyReturnsIdentity) {
+  ThreadPool pool(2);
+  const auto v = map_reduce(
+      pool, 0, 123, [](std::size_t, std::size_t) { return 0; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(v, 123);
+}
+
+TEST(MapReduce, NonCommutativeReduceIsOrdered) {
+  // The fold must be left-to-right over chunks: string concatenation
+  // of chunk ranges must reproduce the full sequence in order.
+  ThreadPool pool(4);
+  const auto s = map_reduce(
+      pool, 26, std::string{},
+      [](std::size_t lo, std::size_t hi) {
+        std::string part;
+        for (std::size_t i = lo; i < hi; ++i) part.push_back(static_cast<char>('a' + i));
+        return part;
+      },
+      [](std::string a, const std::string& b) { return std::move(a) + b; });
+  EXPECT_EQ(s, "abcdefghijklmnopqrstuvwxyz");
+}
+
+}  // namespace
+}  // namespace st

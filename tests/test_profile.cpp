@@ -1,0 +1,103 @@
+#include "dfg/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iosim/campaign.hpp"
+#include "support/errors.hpp"
+#include "testing_util.hpp"
+
+namespace st::dfg {
+namespace {
+
+using testing::ev;
+using testing::make_case;
+
+TEST(Percentile, NearestRankKnownValues) {
+  const std::vector<Micros> sorted = {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  EXPECT_EQ(percentile_sorted(sorted, 50), 50);   // ceil(0.5*10)=5th -> 50
+  EXPECT_EQ(percentile_sorted(sorted, 90), 90);
+  EXPECT_EQ(percentile_sorted(sorted, 99), 100);  // ceil(9.9)=10th
+  EXPECT_EQ(percentile_sorted(sorted, 0), 10);
+  EXPECT_EQ(percentile_sorted(sorted, 100), 100);
+  EXPECT_EQ(percentile_sorted(sorted, 10), 10);   // ceil(1)=1st
+  EXPECT_EQ(percentile_sorted(sorted, 11), 20);   // ceil(1.1)=2nd
+}
+
+TEST(Percentile, SingleSample) {
+  EXPECT_EQ(percentile_sorted({42}, 50), 42);
+  EXPECT_EQ(percentile_sorted({42}, 99), 42);
+}
+
+TEST(Percentile, EmptyThrows) {
+  EXPECT_THROW((void)percentile_sorted({}, 50), LogicError);
+}
+
+TEST(Profiles, PerActivityDistribution) {
+  model::EventLog log;
+  std::vector<model::Event> events;
+  for (int i = 1; i <= 100; ++i) {
+    events.push_back(ev("read", "/f", i * 1000, i));  // durations 1..100
+  }
+  events.push_back(ev("write", "/f", 999999, 7));
+  log.add_case(make_case("p", 1, std::move(events)));
+
+  const auto profiles = DurationProfiles::compute(log, model::Mapping::call_only());
+  const auto* read = profiles.find("read");
+  ASSERT_NE(read, nullptr);
+  EXPECT_EQ(read->samples, 100u);
+  EXPECT_EQ(read->min, 1);
+  EXPECT_EQ(read->p50, 50);
+  EXPECT_EQ(read->p90, 90);
+  EXPECT_EQ(read->p99, 99);
+  EXPECT_EQ(read->max, 100);
+  EXPECT_DOUBLE_EQ(read->tail_ratio(), 2.0);
+
+  const auto* write = profiles.find("write");
+  ASSERT_NE(write, nullptr);
+  EXPECT_EQ(write->samples, 1u);
+  EXPECT_EQ(write->p50, 7);
+}
+
+TEST(Profiles, PartialMappingSkips) {
+  model::EventLog log;
+  log.add_case(make_case("p", 1, {ev("read", "/keep", 0, 5), ev("read", "/drop", 10, 500)}));
+  const auto f = model::Mapping::call_only().filtered("k", [](const model::Event& e) {
+    return e.fp == "/keep";
+  });
+  const auto profiles = DurationProfiles::compute(log, f);
+  EXPECT_EQ(profiles.find("read")->max, 5);
+}
+
+TEST(Profiles, EmptyLog) {
+  const auto profiles =
+      DurationProfiles::compute(model::EventLog{}, model::Mapping::call_only());
+  EXPECT_TRUE(profiles.per_activity().empty());
+  EXPECT_EQ(profiles.find("read"), nullptr);
+}
+
+TEST(Profiles, RenderTable) {
+  model::EventLog log;
+  log.add_case(make_case("p", 1, {ev("read", "/f", 0, 10), ev("read", "/f", 20, 30)}));
+  const auto profiles = DurationProfiles::compute(log, model::Mapping::call_only());
+  const auto text = profiles.render();
+  EXPECT_NE(text.find("read"), std::string::npos);
+  EXPECT_NE(text.find("p99"), std::string::npos);
+  EXPECT_EQ(text, profiles.render());
+}
+
+// The convoy skew the module exists to expose: SSF openat durations
+// ramp linearly, so max/p50 is large; FPP openats are flat.
+TEST(Profiles, SsfOpenConvoySkewVisible) {
+  const auto log = iosim::ssf_fpp_campaign(iosim::CampaignScale::small());
+  const auto f = model::Mapping::call_site(model::SitePathMap::juwels_like(), 1);
+  const auto profiles = DurationProfiles::compute(log, f);
+  const auto* ssf_open = profiles.find("openat\n$SCRATCH/ssf");
+  const auto* fpp_open = profiles.find("openat\n$SCRATCH/fpp");
+  ASSERT_NE(ssf_open, nullptr);
+  ASSERT_NE(fpp_open, nullptr);
+  EXPECT_GT(ssf_open->tail_ratio(), 1.5);  // convoy ramp
+  EXPECT_GT(ssf_open->max, 10 * fpp_open->max);
+}
+
+}  // namespace
+}  // namespace st::dfg

@@ -1,0 +1,107 @@
+#include "model/query.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing_util.hpp"
+
+namespace st::model {
+namespace {
+
+using testing::ev;
+using testing::make_case;
+
+EventLog sample() {
+  EventLog log;
+  log.add_case(make_case("ssf", 1,
+                         {ev("openat", "/p/scratch/ssf/test", 0, 10),
+                          ev("lseek", "/p/scratch/ssf/test", 20, 2),
+                          ev("write", "/p/scratch/ssf/test", 30, 100, 1024),
+                          ev("pread64", "/p/scratch/ssf/test", 200, 50, 1024)}));
+  log.add_case(make_case("fpp", 2, {ev("write", "/p/scratch/fpp/test.0", 50, 100, 1024)},
+                         "node2"));
+  log.add_case(make_case("ssf", 3, {ev("read", "/usr/lib/libc.so", 10, 5, 100)}, "node2"));
+  return log;
+}
+
+TEST(CallFamily, VariantsMatch) {
+  EXPECT_TRUE(call_in_family("read", "read"));
+  EXPECT_TRUE(call_in_family("pread64", "read"));
+  EXPECT_TRUE(call_in_family("readv", "read"));
+  EXPECT_TRUE(call_in_family("preadv", "read"));
+  EXPECT_TRUE(call_in_family("preadv2", "read"));
+  EXPECT_FALSE(call_in_family("read", "write"));
+  EXPECT_FALSE(call_in_family("lseek", "read"));
+  EXPECT_TRUE(call_in_family("lseek", "lseek"));
+}
+
+TEST(Query, EmptyQueryMatchesEverything) {
+  const auto out = Query().apply(sample());
+  EXPECT_EQ(out.total_events(), sample().total_events());
+  EXPECT_EQ(Query().describe(), "all");
+}
+
+TEST(Query, FpContains) {
+  const auto out = Query().fp_contains("/p/scratch").apply(sample());
+  EXPECT_EQ(out.total_events(), 5u);
+}
+
+TEST(Query, FpRestrictionsAreConjunctive) {
+  const auto out = Query().fp_contains("/p/scratch").fp_contains("fpp").apply(sample());
+  EXPECT_EQ(out.total_events(), 1u);
+}
+
+TEST(Query, CallFamilies) {
+  const auto out = Query().calls({"read", "write"}).apply(sample());
+  // write, pread64, write, read — but not openat/lseek.
+  EXPECT_EQ(out.total_events(), 4u);
+}
+
+TEST(Query, TimeWindowIsHalfOpen) {
+  const auto out = Query().between(20, 50).apply(sample());
+  // lseek@20, write@30, write@50 excluded (to is exclusive)... write@50
+  // has start == 50 -> excluded.
+  EXPECT_EQ(out.total_events(), 2u);
+}
+
+TEST(Query, CidSelectionDropsWholeCases) {
+  const auto out = Query().cids({"ssf"}).apply(sample());
+  EXPECT_EQ(out.case_count(), 2u);
+  EXPECT_EQ(out.total_events(), 5u);
+}
+
+TEST(Query, HostSelection) {
+  const auto out = Query().hosts({"node2"}).apply(sample());
+  EXPECT_EQ(out.case_count(), 2u);
+}
+
+TEST(Query, CombinedRestrictions) {
+  const auto q = Query().cids({"ssf"}).calls({"write"}).fp_contains("/p/scratch");
+  const auto out = q.apply(sample());
+  EXPECT_EQ(out.total_events(), 1u);
+  EXPECT_EQ(out.cases()[0].events()[0].call, "write");
+}
+
+TEST(Query, BuilderDoesNotMutateOriginal) {
+  const Query base = Query().fp_contains("/p/scratch");
+  const Query narrowed = base.fp_contains("fpp");
+  EXPECT_EQ(base.apply(sample()).total_events(), 5u);
+  EXPECT_EQ(narrowed.apply(sample()).total_events(), 1u);
+}
+
+TEST(Query, DescribeSummarizes) {
+  const auto q = Query().fp_contains("/p").calls({"read", "write"}).between(0, 100);
+  const std::string d = q.describe();
+  EXPECT_NE(d.find("fp~/p"), std::string::npos);
+  EXPECT_NE(d.find("calls{read,write}"), std::string::npos);
+  EXPECT_NE(d.find("t[0,100)"), std::string::npos);
+}
+
+TEST(Query, MatchesEventDirectly) {
+  const auto q = Query().calls({"write"});
+  EXPECT_TRUE(q.matches(ev("write", "/x", 0, 1)));
+  EXPECT_TRUE(q.matches(ev("pwrite64", "/x", 0, 1)));
+  EXPECT_FALSE(q.matches(ev("read", "/x", 0, 1)));
+}
+
+}  // namespace
+}  // namespace st::model

@@ -1,0 +1,146 @@
+#include "dfg/render.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dfg/builder.hpp"
+#include "testing_util.hpp"
+
+namespace st::dfg {
+namespace {
+
+using testing::ev;
+using testing::make_case;
+
+model::EventLog render_log() {
+  model::EventLog log;
+  log.add_case(make_case("a", 1,
+                         {ev("read", "/usr/lib/a/x.so", 0, 100, 832),
+                          ev("write", "/dev/pts/7", 200, 50, 50)}));
+  return log;
+}
+
+TEST(RenderDot, ContainsDigraphStructure) {
+  const auto log = render_log();
+  const auto f = model::Mapping::call_top_dirs(2);
+  const Dfg g = build_serial(log, f);
+  const auto dot = render_dot(g, nullptr, nullptr);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("read\\n/usr/lib"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(RenderDot, EdgeLabelsCarryCounts) {
+  Dfg g;
+  g.add_trace({"a", "a", "a"}, 3);  // two a->a transitions per trace
+  const auto dot = render_dot(g, nullptr, nullptr);
+  EXPECT_NE(dot.find("[label=\"6\"]"), std::string::npos);  // a->a self loop
+}
+
+TEST(RenderDot, StatsAppendLoadAndDr) {
+  const auto log = render_log();
+  const auto f = model::Mapping::call_top_dirs(2);
+  const Dfg g = build_serial(log, f);
+  const auto stats = IoStatistics::compute(log, f);
+  const auto dot = render_dot(g, &stats, nullptr);
+  EXPECT_NE(dot.find("Load:"), std::string::npos);
+  EXPECT_NE(dot.find("DR: "), std::string::npos);
+}
+
+TEST(RenderDot, StylerColorsApplied) {
+  Dfg green;
+  green.add_trace({"g"});
+  Dfg red;
+  red.add_trace({"r"});
+  Dfg combined = green;
+  combined.merge(red);
+  const PartitionColoring styler(green, red);
+  const auto dot = render_dot(combined, nullptr, &styler);
+  EXPECT_NE(dot.find("#C8E6C9"), std::string::npos);  // green fill
+  EXPECT_NE(dot.find("#FFCDD2"), std::string::npos);  // red fill
+  EXPECT_NE(dot.find("color=green"), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+}
+
+TEST(RenderDot, QuotesEscapedInLabels) {
+  Dfg g;
+  g.add_trace({"weird\"name"});
+  const auto dot = render_dot(g, nullptr, nullptr);
+  EXPECT_NE(dot.find("weird\\\"name"), std::string::npos);
+}
+
+TEST(RenderDot, GraphNameFromOptions) {
+  Dfg g;
+  g.add_trace({"a"});
+  RenderOptions opts;
+  opts.graph_name = "G[L(Ca)]";
+  const auto dot = render_dot(g, nullptr, nullptr, opts);
+  EXPECT_NE(dot.find("G[L(Ca)]"), std::string::npos);
+}
+
+TEST(RenderAscii, DeterministicAndSorted) {
+  const auto log = render_log();
+  const auto f = model::Mapping::call_top_dirs(2);
+  const Dfg g = build_serial(log, f);
+  const auto stats = IoStatistics::compute(log, f);
+  const auto a1 = render_ascii(g, &stats, nullptr);
+  const auto a2 = render_ascii(g, &stats, nullptr);
+  EXPECT_EQ(a1, a2);
+  // One NODE line per activity, flattened to a single line.
+  EXPECT_NE(a1.find("NODE read /usr/lib | Load:"), std::string::npos);
+  EXPECT_NE(a1.find("EDGE read /usr/lib -> write /dev/pts [1]"), std::string::npos);
+  EXPECT_NE(a1.find("EDGE ● -> read /usr/lib [1]"), std::string::npos);
+  EXPECT_NE(a1.find("EDGE write /dev/pts -> ■ [1]"), std::string::npos);
+}
+
+TEST(RenderAscii, RanksShownWhenEnabled) {
+  const auto log = render_log();
+  const auto f = model::Mapping::call_top_dirs(2);
+  const Dfg g = build_serial(log, f);
+  const auto stats = IoStatistics::compute(log, f);
+  RenderOptions opts;
+  opts.show_ranks = true;
+  const auto text = render_ascii(g, &stats, nullptr, opts);
+  EXPECT_NE(text.find("Ranks: 1"), std::string::npos);
+}
+
+TEST(RenderAscii, PartitionTagsShown) {
+  Dfg green;
+  green.add_trace({"g"});
+  Dfg red;
+  red.add_trace({"r"});
+  Dfg combined = green;
+  combined.merge(red);
+  const PartitionColoring styler(green, red);
+  const auto text = render_ascii(combined, nullptr, &styler);
+  EXPECT_NE(text.find("NODE g | GREEN"), std::string::npos);
+  EXPECT_NE(text.find("NODE r | RED"), std::string::npos);
+}
+
+TEST(RenderTimeline, EmptyInput) {
+  EXPECT_EQ(render_timeline({}), "(empty timeline)\n");
+}
+
+TEST(RenderTimeline, OneRowPerCaseWithMaxConcurrency) {
+  std::vector<TimelineEntry> entries = {
+      {model::CaseId{"b", "host1", 9157}, {0, 250}},
+      {model::CaseId{"b", "host1", 9158}, {200, 450}},
+      {model::CaseId{"b", "host1", 9160}, {460, 700}},
+  };
+  const auto text = render_timeline(entries, 40);
+  EXPECT_NE(text.find("b_host1_9157 |"), std::string::npos);
+  EXPECT_NE(text.find("b_host1_9158 |"), std::string::npos);
+  EXPECT_NE(text.find("b_host1_9160 |"), std::string::npos);
+  EXPECT_NE(text.find("max-concurrency: 2"), std::string::npos);
+  EXPECT_NE(text.find("3 events"), std::string::npos);
+}
+
+TEST(RenderTimeline, BarsCoverIntervalExtent) {
+  std::vector<TimelineEntry> entries = {{model::CaseId{"x", "h", 1}, {0, 100}}};
+  const auto text = render_timeline(entries, 10);
+  // A single full-span interval renders as all '=' in its row.
+  EXPECT_NE(text.find("|==========|"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace st::dfg

@@ -1,0 +1,111 @@
+#include "report/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "dfg/builder.hpp"
+#include "iosim/campaign.hpp"
+#include "iosim/commands.hpp"
+#include "support/errors.hpp"
+
+namespace st::report {
+namespace {
+
+model::EventLog ls_log() {
+  return model::EventLog::merge(iosim::make_ls_traces().to_event_log(),
+                                iosim::make_ls_l_traces().to_event_log());
+}
+
+TEST(Report, ContainsAllSections) {
+  const auto f = model::Mapping::call_top_dirs(2);
+  const auto html = build_report(ls_log(), f, nullptr);
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("Directly-Follows-Graph"), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("Activity statistics"), std::string::npos);
+  EXPECT_NE(html.find("Cases"), std::string::npos);
+  EXPECT_NE(html.find("Directly-follows gaps"), std::string::npos);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+}
+
+TEST(Report, MetadataLine) {
+  const auto f = model::Mapping::call_top_dirs(2);
+  const auto html = build_report(ls_log(), f, nullptr);
+  EXPECT_NE(html.find("6 cases, 75 events"), std::string::npos);
+  EXPECT_NE(html.find("call_top_dirs(2)"), std::string::npos);
+}
+
+TEST(Report, TitleAndDescriptionEscaped) {
+  ReportOptions opts;
+  opts.title = "ls <vs> ls -l & friends";
+  opts.description = "a & b";
+  const auto f = model::Mapping::call_top_dirs(2);
+  const auto html = build_report(ls_log(), f, nullptr, opts);
+  EXPECT_NE(html.find("ls &lt;vs&gt; ls -l &amp; friends"), std::string::npos);
+  EXPECT_NE(html.find("<p class=\"meta\">a &amp; b</p>"), std::string::npos);
+}
+
+TEST(Report, StatisticsColoringEmbedded) {
+  const auto log = ls_log();
+  const auto f = model::Mapping::call_top_dirs(2);
+  const auto stats = dfg::IoStatistics::compute(log, f);
+  const dfg::StatisticsColoring styler(stats);
+  const auto html = build_report(log, f, &styler);
+  EXPECT_NE(html.find("#1F77B4"), std::string::npos);  // the busiest node's shade
+}
+
+TEST(Report, PartitionLegendAndColors) {
+  const auto log = ls_log();
+  const auto f = model::Mapping::call_top_dirs(2);
+  const auto [green, red] =
+      log.partition([](const model::Case& c) { return c.id().cid == "a"; });
+  const dfg::PartitionColoring styler(dfg::build_serial(green, f), dfg::build_serial(red, f));
+  ReportOptions opts;
+  opts.partition_legend = "green = ls, red = ls -l";
+  const auto html = build_report(log, f, &styler, opts);
+  EXPECT_NE(html.find("green = ls, red = ls -l"), std::string::npos);
+  EXPECT_NE(html.find("#FFCDD2"), std::string::npos);
+}
+
+TEST(Report, TimelineSectionWhenRequested) {
+  ReportOptions opts;
+  opts.timeline_activity = "read\n/usr/lib";
+  const auto f = model::Mapping::call_top_dirs(2);
+  const auto html = build_report(ls_log(), f, nullptr, opts);
+  EXPECT_NE(html.find("Timeline of read /usr/lib"), std::string::npos);
+  EXPECT_NE(html.find("max-concurrency:"), std::string::npos);
+}
+
+TEST(Report, WriteFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/report.html";
+  const auto f = model::Mapping::call_top_dirs(2);
+  write_report_file(path, ls_log(), f, nullptr);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("</html>"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(Report, WriteToBadPathThrows) {
+  const auto f = model::Mapping::call_top_dirs(2);
+  EXPECT_THROW(write_report_file("/nonexistent/dir/report.html", ls_log(), f, nullptr),
+               IoError);
+}
+
+TEST(Report, FullCampaignReportBuilds) {
+  const auto log = iosim::ssf_fpp_campaign(iosim::CampaignScale::small());
+  const auto f = model::Mapping::call_site(model::SitePathMap::juwels_like(), 1);
+  const auto stats = dfg::IoStatistics::compute(log, f);
+  const dfg::StatisticsColoring styler(stats);
+  ReportOptions opts;
+  opts.title = "SSF vs FPP";
+  const auto html = build_report(log, f, &styler, opts);
+  EXPECT_NE(html.find("write $SCRATCH/ssf"), std::string::npos);
+  EXPECT_NE(html.find("write $SCRATCH/fpp"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace st::report

@@ -1,0 +1,101 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace st {
+namespace {
+
+TEST(SplitMix64, Deterministic) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, Uniform01InRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, Uniform01MeanNearHalf) {
+  Xoshiro256 rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro, BelowStaysInRange) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Xoshiro, BelowZeroIsZero) {
+  Xoshiro256 rng(3);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Xoshiro, BelowOneIsZero) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro, UniformRange) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Xoshiro, NormalMeanAndSpread) {
+  Xoshiro256 rng(13);
+  double sum = 0;
+  double sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Xoshiro, LognormalMedianApprox) {
+  Xoshiro256 rng(17);
+  const int n = 50001;
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.lognormal(100.0, 0.1);
+  std::sort(v.begin(), v.end());
+  EXPECT_NEAR(v[n / 2], 100.0, 2.0);
+  for (const double x : v) EXPECT_GT(x, 0.0);
+}
+
+TEST(Xoshiro, LognormalZeroSigmaIsExact) {
+  Xoshiro256 rng(19);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(rng.lognormal(42.0, 0.0), 42.0);
+}
+
+}  // namespace
+}  // namespace st

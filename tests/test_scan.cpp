@@ -1,0 +1,112 @@
+#include "strace/scan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace st::strace {
+namespace {
+
+TEST(SkipQuoted, SimpleString) {
+  const std::string_view s = "\"abc\", rest";
+  EXPECT_EQ(skip_quoted(s, 0), 5u);
+}
+
+TEST(SkipQuoted, EscapedQuoteInside) {
+  const std::string_view s = R"("a\"b")";
+  EXPECT_EQ(skip_quoted(s, 0), s.size());
+}
+
+TEST(SkipQuoted, EscapedBackslashBeforeClose) {
+  const std::string_view s = R"("a\\")";
+  EXPECT_EQ(skip_quoted(s, 0), s.size());
+}
+
+TEST(SkipQuoted, UnterminatedIsNull) { EXPECT_FALSE(skip_quoted("\"abc", 0)); }
+
+TEST(SkipQuoted, NotAQuoteIsNull) { EXPECT_FALSE(skip_quoted("abc", 0)); }
+
+TEST(FindMatchingParen, Simple) {
+  const std::string_view s = "read(3, buf, 10) = 10";
+  EXPECT_EQ(find_matching_paren(s, 4), 15u);
+}
+
+TEST(FindMatchingParen, NestedStructures) {
+  const std::string_view s = "call({a=[1,(2)], b=3}) = 0";
+  EXPECT_EQ(find_matching_paren(s, 4), 21u);
+}
+
+TEST(FindMatchingParen, ParenInsideStringIgnored) {
+  const std::string_view s = R"(open("a)b", 0) = 3)";
+  EXPECT_EQ(find_matching_paren(s, 4), 13u);
+}
+
+TEST(FindMatchingParen, UnbalancedIsNull) {
+  EXPECT_FALSE(find_matching_paren("call(abc", 4));
+}
+
+TEST(FindMatchingParen, WrongStartIsNull) {
+  EXPECT_FALSE(find_matching_paren("call(abc)", 0));
+}
+
+TEST(SplitArgs, TopLevelCommasOnly) {
+  const auto args = split_args("3</p>, \"a,b\", 832");
+  ASSERT_EQ(args.size(), 3u);
+  EXPECT_EQ(args[0], "3</p>");
+  EXPECT_EQ(args[1], "\"a,b\"");
+  EXPECT_EQ(args[2], "832");
+}
+
+TEST(SplitArgs, NestedBracesDoNotSplit) {
+  const auto args = split_args("{st_mode=S_IFREG|0644, st_size=100}, 42");
+  ASSERT_EQ(args.size(), 2u);
+  EXPECT_EQ(args[1], "42");
+}
+
+TEST(SplitArgs, EmptyGivesNothing) { EXPECT_TRUE(split_args("").empty()); }
+
+TEST(SplitArgs, SingleArg) {
+  const auto args = split_args("AT_FDCWD");
+  ASSERT_EQ(args.size(), 1u);
+  EXPECT_EQ(args[0], "AT_FDCWD");
+}
+
+TEST(DecodeCString, CommonEscapes) {
+  EXPECT_EQ(decode_c_string(R"(a\nb\t\")"), "a\nb\t\"");
+}
+
+TEST(DecodeCString, OctalEscapes) {
+  EXPECT_EQ(decode_c_string(R"(\177ELF)"), "\177ELF");
+  EXPECT_EQ(decode_c_string(R"(\0)"), std::string(1, '\0'));
+}
+
+TEST(DecodeCString, HexEscapes) { EXPECT_EQ(decode_c_string(R"(\x41B)"), "AB"); }
+
+TEST(DecodeCString, UnknownEscapeKeptVerbatim) {
+  EXPECT_EQ(decode_c_string(R"(\q)"), "\\q");
+}
+
+TEST(DecodeCString, PlainPassthrough) {
+  EXPECT_EQ(decode_c_string("/etc/passwd"), "/etc/passwd");
+}
+
+TEST(FdAnnotation, PaperExample) {
+  const auto fp = parse_fd_annotation("3</usr/lib/x86_64-linux-gnu/libselinux.so.1>");
+  ASSERT_TRUE(fp);
+  EXPECT_EQ(fp->fd, 3);
+  EXPECT_EQ(fp->path, "/usr/lib/x86_64-linux-gnu/libselinux.so.1");
+}
+
+TEST(FdAnnotation, Socket) {
+  const auto fp = parse_fd_annotation("4<socket:[12345]>");
+  ASSERT_TRUE(fp);
+  EXPECT_EQ(fp->fd, 4);
+  EXPECT_EQ(fp->path, "socket:[12345]");
+}
+
+TEST(FdAnnotation, PlainNumberIsNull) { EXPECT_FALSE(parse_fd_annotation("832")); }
+
+TEST(FdAnnotation, MissingCloseIsNull) { EXPECT_FALSE(parse_fd_annotation("3</p")); }
+
+TEST(FdAnnotation, NoDigitsIsNull) { EXPECT_FALSE(parse_fd_annotation("</p>")); }
+
+}  // namespace
+}  // namespace st::strace

@@ -1,0 +1,40 @@
+#include "support/si.hpp"
+
+#include <gtest/gtest.h>
+
+namespace st {
+namespace {
+
+// The paper's figures use decimal units: 14976 B renders as 14.98 KB
+// (Fig. 3, read:/usr/lib over six cases).
+TEST(FormatBytes, PaperFig3UsrLib) { EXPECT_EQ(format_bytes(14976), "14.98 KB"); }
+TEST(FormatBytes, PaperFig3LocaleAlias) { EXPECT_EQ(format_bytes(17976), "17.98 KB"); }
+TEST(FormatBytes, PaperFig3DevPts) { EXPECT_EQ(format_bytes(753), "0.75 KB"); }
+TEST(FormatBytes, PaperFig8Gigabytes) { EXPECT_EQ(format_bytes(9.66e9), "9.66 GB"); }
+
+TEST(FormatBytes, SmallRendersAsKb) { EXPECT_EQ(format_bytes(832), "0.83 KB"); }
+TEST(FormatBytes, SubKilo) { EXPECT_EQ(format_bytes(12), "0.01 KB"); }
+TEST(FormatBytes, Zero) { EXPECT_EQ(format_bytes(0), "0.00 KB"); }
+TEST(FormatBytes, Terabytes) { EXPECT_EQ(format_bytes(2.5e12), "2.50 TB"); }
+
+TEST(FormatRate, PaperStyle) {
+  EXPECT_EQ(format_rate_mbps(10.15e6), "10.15 MB/s");
+  EXPECT_EQ(format_rate_mbps(3175.20e6), "3175.20 MB/s");
+}
+
+TEST(FormatRate, SubMegabyte) { EXPECT_EQ(format_rate_mbps(0.61e6), "0.61 MB/s"); }
+
+TEST(FormatRatio, TwoDecimals) {
+  EXPECT_EQ(format_ratio(0.21843), "0.22");
+  EXPECT_EQ(format_ratio(0.0), "0.00");
+  EXPECT_EQ(format_ratio(1.0), "1.00");
+  EXPECT_EQ(format_ratio(0.005), "0.01");
+}
+
+TEST(FormatFixed, Decimals) {
+  EXPECT_EQ(format_fixed(3.14159, 3), "3.142");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace st

@@ -1,0 +1,162 @@
+#include "dfg/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing_util.hpp"
+
+namespace st::dfg {
+namespace {
+
+using testing::ev;
+using testing::make_case;
+
+model::EventLog small_log() {
+  model::EventLog log;
+  // Case 1: two reads of /usr/lib (832 B each), one write to /dev/pts.
+  log.add_case(make_case("a", 1, {
+                                     ev("read", "/usr/lib/a/x.so", 0, 100, 832),
+                                     ev("read", "/usr/lib/a/y.so", 150, 100, 832),
+                                     ev("write", "/dev/pts/7", 300, 50, 50),
+                                 }));
+  // Case 2: one read of /usr/lib overlapping case 1's second read.
+  log.add_case(make_case("a", 2, {ev("read", "/usr/lib/a/x.so", 200, 100, 832)}));
+  return log;
+}
+
+TEST(Stats, RelativeDurationsSumToOne) {
+  const auto stats = IoStatistics::compute(small_log(), model::Mapping::call_top_dirs(2));
+  double sum = 0;
+  for (const auto& [a, s] : stats.per_activity()) sum += s.rel_dur;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Stats, RelativeDurationValues) {
+  const auto stats = IoStatistics::compute(small_log(), model::Mapping::call_top_dirs(2));
+  // read:/usr/lib total dur = 300, write:/dev/pts = 50, total = 350.
+  const auto* read = stats.find("read\n/usr/lib");
+  const auto* write = stats.find("write\n/dev/pts");
+  ASSERT_NE(read, nullptr);
+  ASSERT_NE(write, nullptr);
+  EXPECT_EQ(read->total_dur, 300);
+  EXPECT_NEAR(read->rel_dur, 300.0 / 350.0, 1e-12);
+  EXPECT_NEAR(write->rel_dur, 50.0 / 350.0, 1e-12);
+  EXPECT_EQ(stats.total_duration(), 350);
+}
+
+TEST(Stats, BytesSummedPerActivity) {
+  const auto stats = IoStatistics::compute(small_log(), model::Mapping::call_top_dirs(2));
+  EXPECT_EQ(stats.find("read\n/usr/lib")->bytes, 3 * 832);
+  EXPECT_EQ(stats.find("write\n/dev/pts")->bytes, 50);
+}
+
+TEST(Stats, EventsWithoutSizeDoNotContributeBytes) {
+  model::EventLog log;
+  log.add_case(make_case("a", 1, {ev("openat", "/p/f", 0, 100, -1)}));
+  const auto stats = IoStatistics::compute(log, model::Mapping::call_only());
+  const auto* s = stats.find("openat");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->bytes, 0);
+  EXPECT_FALSE(s->has_bytes);
+  EXPECT_EQ(s->rate_samples, 0u);
+}
+
+TEST(Stats, ProcessDataRateIsMeanOfEventRates) {
+  model::EventLog log;
+  // Rates: 1000 B / 100 us = 10 MB/s; 3000 B / 100 us = 30 MB/s.
+  log.add_case(make_case("a", 1, {ev("read", "/f", 0, 100, 1000), ev("read", "/f", 200, 100, 3000)}));
+  const auto stats = IoStatistics::compute(log, model::Mapping::call_only());
+  EXPECT_NEAR(stats.find("read")->mean_rate, 20e6, 1e-6);
+  EXPECT_EQ(stats.find("read")->rate_samples, 2u);
+}
+
+TEST(Stats, ZeroDurationEventSkippedInRate) {
+  model::EventLog log;
+  log.add_case(make_case("a", 1, {ev("read", "/f", 0, 0, 1000), ev("read", "/f", 10, 100, 1000)}));
+  const auto stats = IoStatistics::compute(log, model::Mapping::call_only());
+  EXPECT_EQ(stats.find("read")->rate_samples, 1u);
+  EXPECT_NEAR(stats.find("read")->mean_rate, 10e6, 1e-6);
+}
+
+TEST(Stats, MaxConcurrencyAcrossCases) {
+  const auto stats = IoStatistics::compute(small_log(), model::Mapping::call_top_dirs(2));
+  // Case1 read [150,250] overlaps case2 read [200,300]: mc = 2.
+  EXPECT_EQ(stats.find("read\n/usr/lib")->max_concurrency, 2u);
+  EXPECT_EQ(stats.find("write\n/dev/pts")->max_concurrency, 1u);
+}
+
+TEST(Stats, RankCountIsDistinctCases) {
+  const auto stats = IoStatistics::compute(small_log(), model::Mapping::call_top_dirs(2));
+  EXPECT_EQ(stats.find("read\n/usr/lib")->rank_count, 2u);
+  EXPECT_EQ(stats.find("write\n/dev/pts")->rank_count, 1u);
+}
+
+TEST(Stats, EventCount) {
+  const auto stats = IoStatistics::compute(small_log(), model::Mapping::call_top_dirs(2));
+  EXPECT_EQ(stats.find("read\n/usr/lib")->event_count, 3u);
+}
+
+TEST(Stats, PartialMappingExcludesFromTotals) {
+  const auto f = model::Mapping::call_top_dirs(2).filtered_fp("/usr/lib");
+  const auto stats = IoStatistics::compute(small_log(), f);
+  // The write is unmapped: total duration excludes it -> rel_dur = 1.
+  EXPECT_EQ(stats.per_activity().size(), 1u);
+  EXPECT_NEAR(stats.find("read\n/usr/lib")->rel_dur, 1.0, 1e-12);
+  EXPECT_EQ(stats.total_duration(), 300);
+}
+
+TEST(Stats, LoadLabelFormat) {
+  ActivityStat s;
+  s.rel_dur = 0.21843;
+  s.bytes = 14976;
+  s.has_bytes = true;
+  EXPECT_EQ(s.load_label(), "Load:0.22 (14.98 KB)");
+}
+
+TEST(Stats, LoadLabelWithoutBytes) {
+  ActivityStat s;
+  s.rel_dur = 0.55;
+  EXPECT_EQ(s.load_label(), "Load:0.55");
+}
+
+TEST(Stats, DrLabelFormat) {
+  ActivityStat s;
+  s.max_concurrency = 2;
+  s.mean_rate = 10.15e6;
+  s.rate_samples = 6;
+  EXPECT_EQ(s.dr_label(), "DR: 2x10.15 MB/s");
+}
+
+TEST(Stats, DrLabelEmptyWithoutSamples) {
+  ActivityStat s;
+  EXPECT_EQ(s.dr_label(), "");
+}
+
+TEST(Stats, FindMissingActivityIsNull) {
+  const auto stats = IoStatistics::compute(small_log(), model::Mapping::call_top_dirs(2));
+  EXPECT_EQ(stats.find("nope"), nullptr);
+}
+
+TEST(Stats, EmptyLog) {
+  const auto stats = IoStatistics::compute(model::EventLog{}, model::Mapping::call_only());
+  EXPECT_TRUE(stats.per_activity().empty());
+  EXPECT_EQ(stats.total_duration(), 0);
+}
+
+TEST(Timeline, CollectsIntervalsOfOneActivity) {
+  const auto entries =
+      IoStatistics::timeline(small_log(), model::Mapping::call_top_dirs(2), "read\n/usr/lib");
+  ASSERT_EQ(entries.size(), 3u);
+  // Sorted by start.
+  EXPECT_EQ(entries[0].interval.start, 0);
+  EXPECT_EQ(entries[1].interval.start, 150);
+  EXPECT_EQ(entries[2].interval.start, 200);
+  EXPECT_EQ(entries[2].case_id.rid, 2u);
+}
+
+TEST(Timeline, UnknownActivityIsEmpty) {
+  EXPECT_TRUE(
+      IoStatistics::timeline(small_log(), model::Mapping::call_top_dirs(2), "zzz").empty());
+}
+
+}  // namespace
+}  // namespace st::dfg

@@ -1,0 +1,84 @@
+#include "support/timeparse.hpp"
+
+#include <gtest/gtest.h>
+
+namespace st {
+namespace {
+
+TEST(ParseTimeOfDay, StraceTtFormat) {
+  // Timestamp from Fig. 2a of the paper.
+  const auto t = parse_time_of_day("08:55:54.153994");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(*t, ((8 * 3600 + 55 * 60 + 54) * kMicrosPerSecond) + 153994);
+}
+
+TEST(ParseTimeOfDay, NoFraction) {
+  EXPECT_EQ(parse_time_of_day("00:00:01"), kMicrosPerSecond);
+}
+
+TEST(ParseTimeOfDay, ShortFractionScales) {
+  EXPECT_EQ(parse_time_of_day("00:00:00.5"), 500000);
+  EXPECT_EQ(parse_time_of_day("00:00:00.123"), 123000);
+}
+
+TEST(ParseTimeOfDay, Midnight) { EXPECT_EQ(parse_time_of_day("00:00:00.000000"), 0); }
+
+TEST(ParseTimeOfDay, EndOfDay) {
+  EXPECT_EQ(parse_time_of_day("23:59:59.999999"), kMicrosPerDay - 1);
+}
+
+TEST(ParseTimeOfDay, RejectsBadShapes) {
+  EXPECT_FALSE(parse_time_of_day(""));
+  EXPECT_FALSE(parse_time_of_day("8:55:54"));
+  EXPECT_FALSE(parse_time_of_day("08-55-54"));
+  EXPECT_FALSE(parse_time_of_day("08:55"));
+  EXPECT_FALSE(parse_time_of_day("25:00:00"));
+  EXPECT_FALSE(parse_time_of_day("08:61:00"));
+  EXPECT_FALSE(parse_time_of_day("08:55:54.1234567"));  // 7 fraction digits
+  EXPECT_FALSE(parse_time_of_day("08:55:54."));
+  EXPECT_FALSE(parse_time_of_day("08:55:54.12a"));
+}
+
+TEST(FormatTimeOfDay, RoundTrip) {
+  const std::string s = "08:55:54.153994";
+  EXPECT_EQ(format_time_of_day(*parse_time_of_day(s)), s);
+}
+
+TEST(FormatTimeOfDay, WrapsPastMidnight) {
+  EXPECT_EQ(format_time_of_day(kMicrosPerDay + 5), "00:00:00.000005");
+}
+
+TEST(ParseSeconds, StraceDuration) {
+  // Duration from Fig. 2a: <0.000203>.
+  EXPECT_EQ(parse_seconds("0.000203"), 203);
+}
+
+TEST(ParseSeconds, WholeSeconds) { EXPECT_EQ(parse_seconds("2"), 2 * kMicrosPerSecond); }
+
+TEST(ParseSeconds, Mixed) { EXPECT_EQ(parse_seconds("1.5"), 1500000); }
+
+TEST(ParseSeconds, RoundsSubMicrosecond) {
+  EXPECT_EQ(parse_seconds("0.0000005"), 1);   // rounds up
+  EXPECT_EQ(parse_seconds("0.0000004"), 0);   // rounds down
+}
+
+TEST(ParseSeconds, RejectsGarbage) {
+  EXPECT_FALSE(parse_seconds(""));
+  EXPECT_FALSE(parse_seconds("."));
+  EXPECT_FALSE(parse_seconds("1.2x"));
+  EXPECT_FALSE(parse_seconds("-1"));
+}
+
+TEST(FormatSeconds, StraceStyle) {
+  EXPECT_EQ(format_seconds(203), "0.000203");
+  EXPECT_EQ(format_seconds(1500000), "1.500000");
+}
+
+TEST(FormatSeconds, RoundTripsThroughParse) {
+  for (const Micros d : {0LL, 1LL, 999999LL, 1000000LL, 123456789LL}) {
+    EXPECT_EQ(parse_seconds(format_seconds(d)), d);
+  }
+}
+
+}  // namespace
+}  // namespace st

@@ -1,0 +1,102 @@
+#include "model/variants.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iosim/campaign.hpp"
+#include "iosim/commands.hpp"
+#include "testing_util.hpp"
+
+namespace st::model {
+namespace {
+
+using testing::ev;
+using testing::make_case;
+
+ActivityLog make_log(const std::vector<std::vector<std::string>>& traces) {
+  EventLog log;
+  std::uint64_t rid = 1;
+  for (const auto& trace : traces) {
+    std::vector<Event> events;
+    Micros t = 0;
+    for (const auto& call : trace) {
+      events.push_back(ev(call, "", t, 1));
+      t += 10;
+    }
+    log.add_case(make_case("v", rid++, std::move(events)));
+  }
+  return ActivityLog::build(log, Mapping::call_only());
+}
+
+TEST(Variants, IdenticalLogsShareEverything) {
+  const auto a = make_log({{"x", "y"}, {"x", "y"}});
+  const auto diff = compare_variants(a, a);
+  EXPECT_TRUE(diff.identical_behaviour());
+  EXPECT_EQ(diff.common.size(), 1u);
+  EXPECT_DOUBLE_EQ(diff.green_coverage(), 1.0);
+  EXPECT_DOUBLE_EQ(diff.red_coverage(), 1.0);
+}
+
+TEST(Variants, ExclusiveVariantsDetected) {
+  const auto green = make_log({{"x", "y"}, {"x", "z"}});
+  const auto red = make_log({{"x", "y"}, {"q"}});
+  const auto diff = compare_variants(green, red);
+  EXPECT_FALSE(diff.identical_behaviour());
+  ASSERT_EQ(diff.green_only.size(), 1u);
+  EXPECT_EQ(diff.green_only.begin()->first, (ActivityTrace{"x", "z"}));
+  ASSERT_EQ(diff.red_only.size(), 1u);
+  EXPECT_EQ(diff.red_only.begin()->first, (ActivityTrace{"q"}));
+  EXPECT_EQ(diff.common.size(), 1u);
+}
+
+TEST(Variants, MultiplicitiesTracked) {
+  const auto green = make_log({{"a"}, {"a"}, {"a"}});
+  const auto red = make_log({{"a"}});
+  const auto diff = compare_variants(green, red);
+  const auto& [g_count, r_count] = diff.common.at(ActivityTrace{"a"});
+  EXPECT_EQ(g_count, 3u);
+  EXPECT_EQ(r_count, 1u);
+}
+
+TEST(Variants, CoverageFractions) {
+  // green: 2 covered cases of 4; red: 2 covered of 2.
+  const auto green = make_log({{"a"}, {"a"}, {"b"}, {"c"}});
+  const auto red = make_log({{"a"}, {"a"}});
+  const auto diff = compare_variants(green, red);
+  EXPECT_DOUBLE_EQ(diff.green_coverage(), 0.5);
+  EXPECT_DOUBLE_EQ(diff.red_coverage(), 1.0);
+}
+
+TEST(Variants, EmptyLogsAreIdentical) {
+  const auto diff = compare_variants(ActivityLog{}, ActivityLog{});
+  EXPECT_TRUE(diff.identical_behaviour());
+  EXPECT_DOUBLE_EQ(diff.green_coverage(), 1.0);
+}
+
+TEST(Variants, LsVersusLsLHaveDisjointVariants) {
+  // The paper's Ca and Cb: each command has one variant, and they
+  // differ (Fig. 3d's red nodes witness this at the trace level).
+  const auto f = Mapping::call_top_dirs(2);
+  const auto ca = ActivityLog::build(iosim::make_ls_traces().to_event_log(), f);
+  const auto cb = ActivityLog::build(iosim::make_ls_l_traces().to_event_log(), f);
+  const auto diff = compare_variants(ca, cb);
+  EXPECT_EQ(diff.green_only.size(), 1u);
+  EXPECT_EQ(diff.red_only.size(), 1u);
+  EXPECT_TRUE(diff.common.empty());
+  EXPECT_DOUBLE_EQ(diff.green_coverage(), 0.0);
+}
+
+TEST(Variants, HomogeneousSpmdRunHasOneVariantPerRun) {
+  // All ranks of one IOR run behave identically up to activity level
+  // — but rank-dependent file names (FPP) split the variants.
+  iosim::CampaignScale scale = iosim::CampaignScale::small();
+  auto options = iosim::make_ssf_options(scale);
+  options.keep_files = true;  // -k: rank 0 would otherwise add unlinkat events
+  const auto ssf = iosim::run_ior(options).to_event_log();
+  const auto f = Mapping::call_site(SitePathMap::juwels_like(), 1);
+  const auto al = ActivityLog::build(ssf, f);
+  EXPECT_EQ(al.variants().size(), 1u);  // every rank: same activity trace
+  EXPECT_EQ(al.variants().begin()->second, static_cast<std::size_t>(scale.num_ranks));
+}
+
+}  // namespace
+}  // namespace st::model

@@ -1,0 +1,38 @@
+// Shared helpers for building small synthetic event logs in tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/event_log.hpp"
+
+namespace st::testing {
+
+/// Compact event builder: ev("read", "/usr/lib/x/y.so", start, dur, size).
+inline model::Event ev(std::string call, std::string fp, Micros start, Micros dur,
+                       std::int64_t size = -1) {
+  model::Event e;
+  e.cid = "t";
+  e.host = "host1";
+  e.rid = 1;
+  e.pid = 100;
+  e.call = std::move(call);
+  e.fp = std::move(fp);
+  e.start = start;
+  e.dur = dur;
+  e.size = size;
+  return e;
+}
+
+inline model::Case make_case(std::string cid, std::uint64_t rid, std::vector<model::Event> events,
+                             std::string host = "host1") {
+  for (auto& e : events) {
+    e.cid = cid;
+    e.host = host;
+    e.rid = rid;
+    e.pid = rid + 12;
+  }
+  return model::Case(model::CaseId{std::move(cid), std::move(host), rid}, std::move(events));
+}
+
+}  // namespace st::testing
