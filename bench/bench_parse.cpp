@@ -1,10 +1,17 @@
 // OVH-PARSE — strace parsing overhead (Sec. V "overheads").
 //
 // Measures line-level parse throughput, whole-trace reading with
-// unfinished/resumed merging, and the trace-writer round trip. The
-// read path should scale linearly in the line count.
+// unfinished/resumed merging, the chunked parallel reader, and the
+// trace-writer round trip. The read path should scale linearly in the
+// line count.
+//
+// BM_ReadTraceMixed at range 1<<17 (131072 lines, ~10 MB) is the
+// acceptance metric of the zero-copy ingestion PR: bytes_per_second
+// must stay >= 2x the pre-change sequential baseline recorded in
+// bench/baseline_seed.json (see bench/run_bench.sh).
 #include <benchmark/benchmark.h>
 
+#include "parallel/thread_pool.hpp"
 #include "strace/parser.hpp"
 #include "strace/reader.hpp"
 #include "strace/writer.hpp"
@@ -21,16 +28,18 @@ const std::string kOpenatLine =
     "<0.000150>";
 
 void BM_ParseLine_Read(benchmark::State& state) {
+  strace::StringArena arena;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(strace::parse_line(kReadLine));
+    benchmark::DoNotOptimize(strace::parse_line(kReadLine, arena));
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ParseLine_Read);
 
 void BM_ParseLine_Openat(benchmark::State& state) {
+  strace::StringArena arena;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(strace::parse_line(kOpenatLine));
+    benchmark::DoNotOptimize(strace::parse_line(kOpenatLine, arena));
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -52,6 +61,37 @@ std::string make_trace_text(std::size_t lines, bool with_resume_pairs) {
   return text;
 }
 
+/// Production-shaped mix: reads, openat with a quoted path, pwrite64
+/// with an offset, and cross-line unfinished/resumed pairs. The same
+/// shape as the recorded pre-change baseline (bench/baseline_seed.json).
+std::string make_mixed_trace(std::size_t lines) {
+  std::string text;
+  text.reserve(lines * 100);
+  for (std::size_t i = 0; i < lines; ++i) {
+    const Micros t = static_cast<Micros>(i * 100);
+    switch (i % 5) {
+      case 0:
+        text += "7  " + format_time_of_day(t) + " read(3</p/data/f>, \"\"..., 512) = 512 <0.000040>\n";
+        break;
+      case 1:
+        text += "8  " + format_time_of_day(t) +
+                " openat(AT_FDCWD, \"/p/scratch/ssf/test\", O_RDWR|O_CREAT, 0644) = 5 <0.000150>\n";
+        break;
+      case 2:
+        text += "7  " + format_time_of_day(t) +
+                " pwrite64(5</p/scratch/ssf/test>, \"\"..., 1048576, 33554432) = 1048576 <0.000294>\n";
+        break;
+      case 3:
+        text += "9  " + format_time_of_day(t) + " read(3</p/data/f>, <unfinished ...>\n";
+        break;
+      default:
+        text += "9  " + format_time_of_day(t) + " <... read resumed> \"\"..., 405) = 404 <0.000223>\n";
+        break;
+    }
+  }
+  return text;
+}
+
 /// O(n) whole-trace read; the n sweep verifies linear scaling.
 void BM_ReadTraceText(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -60,9 +100,10 @@ void BM_ReadTraceText(benchmark::State& state) {
     benchmark::DoNotOptimize(strace::read_trace_text(text));
   }
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(text.size()));
   state.SetComplexityN(static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_ReadTraceText)->Range(1 << 8, 1 << 14)->Complexity(benchmark::oN);
+BENCHMARK(BM_ReadTraceText)->Range(1 << 8, 1 << 17)->Complexity(benchmark::oN);
 
 void BM_ReadTraceText_WithResumeMerging(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -71,8 +112,48 @@ void BM_ReadTraceText_WithResumeMerging(benchmark::State& state) {
     benchmark::DoNotOptimize(strace::read_trace_text(text));
   }
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(text.size()));
 }
 BENCHMARK(BM_ReadTraceText_WithResumeMerging)->Range(1 << 8, 1 << 14);
+
+/// Acceptance metric: whole-trace sequential read on the mixed corpus
+/// (>= 100k lines at the top of the range), zero-copy from a
+/// pre-loaded TraceBuffer exactly like read_trace_file.
+void BM_ReadTraceMixed(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::string text = make_mixed_trace(n);
+  for (auto _ : state) {
+    // A fresh buffer per iteration, built outside the timed region:
+    // parsing interns into the buffer's arena, so reusing one buffer
+    // would grow its arena monotonically across iterations.
+    state.PauseTiming();
+    auto buffer = std::make_shared<strace::TraceBuffer>(text);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(strace::read_trace_buffer(std::move(buffer)));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_ReadTraceMixed)->Range(1 << 14, 1 << 17);
+
+/// The chunked parallel reader on the same corpus (identical output).
+void BM_ReadTraceParallelMixed(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::string text = make_mixed_trace(n);
+  ThreadPool pool(0);  // hardware concurrency, reused across iterations
+  strace::ParallelReadOptions opts;
+  opts.pool = &pool;
+  opts.min_chunk_bytes = 1 << 18;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto buffer = std::make_shared<strace::TraceBuffer>(text);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(strace::read_trace_parallel(std::move(buffer), opts));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_ReadTraceParallelMixed)->Range(1 << 14, 1 << 17);
 
 void BM_WriteTrace(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Runs the ingestion + pipeline benchmarks and writes BENCH_parse.json
+# (and BENCH_pipeline.json) at the repo root — the perf trajectory
+# record future PRs compare against.
+#
+#   bench/run_bench.sh [build-dir] [out-dir]
+#
+# BENCH_parse.json layout:
+#   {
+#     "baseline_seed": <bench/baseline_seed.json — pre-zero-copy numbers>,
+#     "speedup_vs_seed": <BM_ReadTraceMixed/131072 bytes/s over baseline>,
+#     "current": <google-benchmark JSON of bench_parse>
+#   }
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out_dir="${2:-$repo_root}"
+
+if [[ ! -x "$build_dir/bench/bench_parse" ]]; then
+  echo "bench_parse not built; run: cmake -B '$build_dir' -S '$repo_root' && cmake --build '$build_dir' -j" >&2
+  exit 1
+fi
+
+parse_raw="$(mktemp)"
+trap 'rm -f "$parse_raw"' EXIT
+
+"$build_dir/bench/bench_parse" \
+  --benchmark_format=json \
+  --benchmark_min_time=0.2 \
+  >"$parse_raw"
+
+"$build_dir/bench/bench_pipeline" \
+  --benchmark_format=json \
+  --benchmark_min_time=0.2 \
+  >"$out_dir/BENCH_pipeline.json"
+
+python3 - "$parse_raw" "$repo_root/bench/baseline_seed.json" "$out_dir/BENCH_parse.json" <<'EOF'
+import json
+import sys
+
+current = json.load(open(sys.argv[1]))
+baseline = json.load(open(sys.argv[2]))
+
+speedup = None
+base_bps = baseline["corpus"]["bytes"] / baseline["sequential_read"]["best_seconds"]
+for bench in current.get("benchmarks", []):
+    if bench.get("name") == "BM_ReadTraceMixed/131072" and "bytes_per_second" in bench:
+        speedup = round(bench["bytes_per_second"] / base_bps, 2)
+
+out = {
+    "baseline_seed": baseline,
+    "speedup_vs_seed": speedup,
+    "current": current,
+}
+json.dump(out, open(sys.argv[3], "w"), indent=1)
+print(f"wrote {sys.argv[3]} (speedup_vs_seed = {speedup}x)")
+EOF

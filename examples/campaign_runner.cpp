@@ -19,7 +19,9 @@
 #include "iosim/campaign.hpp"
 #include "dfg/builder.hpp"
 #include "model/case_stats.hpp"
+#include "model/from_strace.hpp"
 #include "report/report.hpp"
+#include "strace/filename.hpp"
 #include "support/cli.hpp"
 #include "support/errors.hpp"
 
@@ -30,6 +32,8 @@ int main(int argc, char** argv) {
   cli.add_flag("ranks", "MPI ranks per run", "96");
   cli.add_flag("ranks-per-node", "ranks per simulated host", "48");
   cli.add_flag("threads", "child processes per rank (SMT mode)", "1");
+  cli.add_flag("verify", "re-ingest the written trace files and check event counts",
+               std::nullopt, true);
   try {
     cli.parse(argc, argv);
   } catch (const Error& e) {
@@ -63,6 +67,24 @@ int main(int argc, char** argv) {
     traces.write_files(dir);
     std::cout << "  -> " << traces.traces.size() << " trace files in " << dir << "\n";
     all_cases = model::EventLog::merge(all_cases, traces.to_event_log());
+
+    if (cli.get_bool("verify")) {
+      // Round-trip check: the written strace text must re-ingest (via
+      // the zero-copy parallel reader) to the same number of events.
+      std::vector<std::string> files;
+      files.reserve(traces.traces.size());
+      for (const auto& t : traces.traces) {
+        files.push_back(dir + "/" + strace::format_trace_filename(t.id));
+      }
+      const auto reread = model::event_log_from_files(files);
+      const auto direct = traces.to_event_log();
+      if (reread.total_events() != direct.total_events()) {
+        throw LogicError("trace round-trip mismatch in " + dir + ": wrote " +
+                         std::to_string(direct.total_events()) + " events, re-read " +
+                         std::to_string(reread.total_events()));
+      }
+      std::cout << "  -> verified: " << reread.total_events() << " events re-ingested\n";
+    }
   }
 
   // Processed containers, as the paper stores them ("a single HDF5 file").

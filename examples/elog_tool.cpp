@@ -4,12 +4,14 @@
 //   ./elog_tool merge out.elog a.elog b.elog       # union of logs
 //   ./elog_tool filter out.elog in.elog --fp /p/scratch --calls read,write
 //   ./elog_tool export in.elog --map site1         # stats CSV to stdout
+//   ./elog_tool import out.elog a_host1_9042.st... # strace -> elog
 #include <iostream>
 
 #include "dfg/export.hpp"
 #include "dfg/stats.hpp"
 #include "elog/store.hpp"
 #include "model/case_stats.hpp"
+#include "model/from_strace.hpp"
 #include "model/query.hpp"
 #include "support/cli.hpp"
 #include "support/errors.hpp"
@@ -36,10 +38,11 @@ int main(int argc, char** argv) {
   cli.add_flag("fp", "filter: keep events whose path contains this", std::nullopt);
   cli.add_flag("calls", "filter: comma-separated call families", std::nullopt);
   cli.add_flag("map", "mapping for export: top2|last2|call|site|site1", "site");
+  cli.add_flag("threads", "ingestion worker threads for import (0 = hardware)", "0");
   try {
     cli.parse(argc, argv);
     const auto& args = cli.positional();
-    if (args.empty()) throw ParseError("usage: elog_tool info|merge|filter|export ...");
+    if (args.empty()) throw ParseError("usage: elog_tool info|merge|filter|export|import ...");
     const std::string& command = args[0];
 
     if (command == "info") {
@@ -69,6 +72,16 @@ int main(int argc, char** argv) {
       elog::write_event_log_file(args[1], filtered);
       std::cout << "query [" << query.describe() << "] kept " << filtered.total_events()
                 << " events; wrote " << args[1] << "\n";
+    } else if (command == "import") {
+      // strace text -> elog container, through the zero-copy parallel
+      // ingestion pipeline (cid_host_rid.st naming required).
+      if (args.size() < 3) throw ParseError("import takes an output and >= 1 trace files");
+      const std::vector<std::string> files(args.begin() + 2, args.end());
+      const auto log = model::event_log_from_files(
+          files, static_cast<std::size_t>(cli.get_int("threads")));
+      elog::write_event_log_file(args[1], log);
+      std::cout << "imported " << files.size() << " trace files (" << log.total_events()
+                << " events) into " << args[1] << "\n";
     } else if (command == "export") {
       if (args.size() != 2) throw ParseError("export takes one elog file");
       const auto log = elog::read_event_log_file(args[1]);

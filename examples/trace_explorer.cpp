@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
   cli.add_flag("timeline", "print the timeline of this activity (use \\n between call and path)",
                std::nullopt);
   cli.add_flag("ranks", "annotate nodes with distinct rank counts", std::nullopt, true);
+  cli.add_flag("threads", "ingestion worker threads (0 = hardware)", "0");
   try {
     cli.parse(argc, argv);
 
@@ -61,7 +62,10 @@ int main(int argc, char** argv) {
     } else if (cli.positional().size() == 1 && cli.positional()[0].ends_with(".elog")) {
       log = elog::read_event_log_file(cli.positional()[0]);
     } else {
-      log = model::event_log_from_files(cli.positional());
+      // Zero-copy ingestion; a single file is chunk-parallelized, a
+      // file set is parallelized across files.
+      log = model::event_log_from_files(cli.positional(),
+                                        static_cast<std::size_t>(cli.get_int("threads")));
     }
     if (cli.has("filter")) log = log.filter_fp(cli.get("filter"));
 

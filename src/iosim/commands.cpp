@@ -1,5 +1,6 @@
 #include "iosim/commands.hpp"
 
+#include <memory>
 #include <string>
 
 namespace st::iosim {
@@ -65,6 +66,8 @@ int fd_for(const Row& row) {
 template <std::size_t N>
 TraceSet make_traces(const Row (&rows)[N], const char* cid, const CommandTraceOptions& opt) {
   TraceSet out;
+  auto arena = std::make_shared<strace::StringArena>();
+  out.arenas.push_back(arena);
   // rids follow the paper's pattern 9042/9043/9045: not consecutive —
   // the launcher skipped one pid between processes 2 and 3.
   for (int p = 0; p < opt.processes; ++p) {
@@ -79,8 +82,8 @@ TraceSet make_traces(const Row (&rows)[N], const char* cid, const CommandTraceOp
       rec.kind = strace::RecordKind::Complete;
       rec.call = row.call;
       const int fd = fd_for(row);
-      rec.args = std::to_string(fd) + "<" + row.path + ">, \"\"..., " +
-                 std::to_string(row.requested);
+      rec.args = arena->concat({std::to_string(fd), "<", row.path, ">, \"\"..., ",
+                                std::to_string(row.requested)});
       rec.fd = fd;
       rec.path = row.path;
       rec.retval = row.transferred;

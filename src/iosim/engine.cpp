@@ -23,17 +23,17 @@ des::SimTime IoSystem::service(Xoshiro256& rng, double base_us) const {
       1, static_cast<des::SimTime>(jittered + model_.trace_overhead_us));
 }
 
-void IoSystem::emit(ProcessContext& proc, des::SimTime start, const std::string& call,
-                    std::string args, std::int64_t retval, const std::string& path) {
+void IoSystem::emit(ProcessContext& proc, des::SimTime start, std::string_view call,
+                    std::string_view args, std::int64_t retval, const std::string& path) {
   strace::RawRecord rec;
   rec.pid = proc.pid();
   rec.timestamp = proc.wallclock_base() + start;
   rec.kind = strace::RecordKind::Complete;
   rec.call = call;
-  rec.args = std::move(args);
+  rec.args = args;
   rec.retval = retval;
   rec.duration = sim_.now() - start;
-  rec.path = path;
+  rec.path = proc.intern_path(path);
   proc.emit(std::move(rec));
 }
 
@@ -66,9 +66,9 @@ des::Proc<int> IoSystem::sys_openat(ProcessContext& proc, std::string path, bool
   co_await sim_.delay(service(proc.meta_rng(), cost));
 
   const int fd = proc.allocate_fd(path);
-  std::string args = "AT_FDCWD, \"" + path + "\", ";
-  args += creating || create ? "O_RDWR|O_CREAT, 0644" : "O_RDONLY";
-  emit(proc, start, "openat", std::move(args), fd, path);
+  const std::string_view args = proc.arena().concat(
+      {"AT_FDCWD, \"", path, "\", ", creating || create ? "O_RDWR|O_CREAT, 0644" : "O_RDONLY"});
+  emit(proc, start, "openat", args, fd, path);
   co_return fd;
 }
 
@@ -91,9 +91,9 @@ des::Proc<std::int64_t> IoSystem::sys_read(ProcessContext& proc, int fd, std::in
   --node.active_readers;
 
   state.offset += bytes;
-  std::string args = std::to_string(fd) + "<" + state.path + ">, \"\"..., " +
-                     std::to_string(bytes);
-  emit(proc, start, "read", std::move(args), bytes, state.path);
+  const std::string_view args = proc.arena().concat(
+      {std::to_string(fd), "<", state.path, ">, \"\"..., ", std::to_string(bytes)});
+  emit(proc, start, "read", args, bytes, state.path);
   co_return bytes;
 }
 
@@ -114,9 +114,9 @@ des::Proc<std::int64_t> IoSystem::sys_write(ProcessContext& proc, int fd, std::i
   state.offset += bytes;
   node.size = std::max(node.size, state.offset);
   node.dirty_bytes += bytes;
-  std::string args = std::to_string(fd) + "<" + state.path + ">, \"\"..., " +
-                     std::to_string(bytes);
-  emit(proc, start, "write", std::move(args), bytes, state.path);
+  const std::string_view args = proc.arena().concat(
+      {std::to_string(fd), "<", state.path, ">, \"\"..., ", std::to_string(bytes)});
+  emit(proc, start, "write", args, bytes, state.path);
   co_return bytes;
 }
 
@@ -136,9 +136,10 @@ des::Proc<std::int64_t> IoSystem::sys_pread64(ProcessContext& proc, int fd, std:
                               model_.transfer_us(static_cast<double>(bytes), bw) * dilation));
   --node.active_readers;
 
-  std::string args = std::to_string(fd) + "<" + state.path + ">, \"\"..., " +
-                     std::to_string(bytes) + ", " + std::to_string(offset);
-  emit(proc, start, "pread64", std::move(args), bytes, state.path);
+  const std::string_view args = proc.arena().concat(
+      {std::to_string(fd), "<", state.path, ">, \"\"..., ", std::to_string(bytes), ", ",
+       std::to_string(offset)});
+  emit(proc, start, "pread64", args, bytes, state.path);
   co_return bytes;
 }
 
@@ -159,9 +160,10 @@ des::Proc<std::int64_t> IoSystem::sys_pwrite64(ProcessContext& proc, int fd, std
   node.mark_cached(proc.host(), offset, bytes, model_.cache_block_bytes);
   node.size = std::max(node.size, offset + bytes);
   node.dirty_bytes += bytes;
-  std::string args = std::to_string(fd) + "<" + state.path + ">, \"\"..., " +
-                     std::to_string(bytes) + ", " + std::to_string(offset);
-  emit(proc, start, "pwrite64", std::move(args), bytes, state.path);
+  const std::string_view args = proc.arena().concat(
+      {std::to_string(fd), "<", state.path, ">, \"\"..., ", std::to_string(bytes), ", ",
+       std::to_string(offset)});
+  emit(proc, start, "pwrite64", args, bytes, state.path);
   co_return bytes;
 }
 
@@ -170,9 +172,9 @@ des::Proc<void> IoSystem::sys_lseek(ProcessContext& proc, int fd, std::int64_t o
   auto& state = proc.fd_state(fd);
   co_await sim_.delay(service(proc.meta_rng(), model_.lseek_us));
   state.offset = offset;
-  std::string args = std::to_string(fd) + "<" + state.path + ">, " + std::to_string(offset) +
-                     ", SEEK_SET";
-  emit(proc, start, "lseek", std::move(args), offset, state.path);
+  const std::string_view args = proc.arena().concat(
+      {std::to_string(fd), "<", state.path, ">, ", std::to_string(offset), ", SEEK_SET"});
+  emit(proc, start, "lseek", args, offset, state.path);
 }
 
 des::Proc<std::int64_t> IoSystem::sys_stat(ProcessContext& proc, std::string path) {
@@ -182,17 +184,16 @@ des::Proc<std::int64_t> IoSystem::sys_stat(ProcessContext& proc, std::string pat
   // tokens; a fixed base cost suffices.
   co_await sim_.delay(service(proc.meta_rng(), model_.open_base_us / 2));
   const std::int64_t ret = node.exists ? 0 : -1;
-  std::string args = "AT_FDCWD, \"" + path + "\", {st_mode=S_IFREG|0644, st_size=" +
-                     std::to_string(node.size) + ", ...}, 0";
   strace::RawRecord rec;
   rec.pid = proc.pid();
   rec.timestamp = proc.wallclock_base() + start;
   rec.call = "newfstatat";
-  rec.args = std::move(args);
+  rec.args = proc.arena().concat({"AT_FDCWD, \"", path, "\", {st_mode=S_IFREG|0644, st_size=",
+                                  std::to_string(node.size), ", ...}, 0"});
   rec.retval = ret;
   if (ret < 0) rec.errno_name = "ENOENT";
   rec.duration = sim_.now() - start;
-  rec.path = path;
+  rec.path = proc.intern_path(path);
   proc.emit(std::move(rec));
   co_return ret;
 }
@@ -208,8 +209,8 @@ des::Proc<void> IoSystem::sys_unlink(ProcessContext& proc, std::string path) {
   node.size = 0;
   node.dirty_bytes = 0;
   node.cached_blocks.clear();
-  std::string args = "AT_FDCWD, \"" + path + "\", 0";
-  emit(proc, start, "unlinkat", std::move(args), 0, path);
+  const std::string_view args = proc.arena().concat({"AT_FDCWD, \"", path, "\", 0"});
+  emit(proc, start, "unlinkat", args, 0, path);
 }
 
 des::Proc<void> IoSystem::sys_fsync(ProcessContext& proc, int fd) {
@@ -220,8 +221,9 @@ des::Proc<void> IoSystem::sys_fsync(ProcessContext& proc, int fd) {
   co_await sim_.delay(
       service(proc.meta_rng(), model_.fsync_base_us + model_.fsync_per_mb_us * dirty_mb));
   node.dirty_bytes = 0;
-  std::string args = std::to_string(fd) + "<" + state.path + ">";
-  emit(proc, start, "fsync", std::move(args), 0, state.path);
+  const std::string_view args =
+      proc.arena().concat({std::to_string(fd), "<", state.path, ">"});
+  emit(proc, start, "fsync", args, 0, state.path);
 }
 
 des::Proc<void> IoSystem::sys_close(ProcessContext& proc, int fd) {
@@ -231,9 +233,9 @@ des::Proc<void> IoSystem::sys_close(ProcessContext& proc, int fd) {
   Inode& node = fs_.inode(path);
   co_await sim_.delay(service(proc.meta_rng(), model_.close_us));
   if (node.openers > 0) --node.openers;
-  std::string args = std::to_string(fd) + "<" + path + ">";
+  const std::string_view args = proc.arena().concat({std::to_string(fd), "<", path, ">"});
   proc.release_fd(fd);
-  emit(proc, start, "close", std::move(args), 0, path);
+  emit(proc, start, "close", args, 0, path);
 }
 
 }  // namespace st::iosim

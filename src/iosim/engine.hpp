@@ -19,13 +19,17 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "des/resource.hpp"
 #include "des/simulator.hpp"
 #include "iosim/cost_model.hpp"
 #include "iosim/vfs.hpp"
+#include "strace/arena.hpp"
 #include "strace/record.hpp"
 #include "support/rng.hpp"
 
@@ -60,6 +64,20 @@ class ProcessContext {
   [[nodiscard]] std::vector<strace::RawRecord> take_records() { return std::move(records_); }
   void emit(strace::RawRecord rec) { records_.push_back(std::move(rec)); }
 
+  // Record strings (argument text, paths) synthesized for this
+  // process's trace intern here; whoever takes the records must also
+  // keep the arena alive (TraceSet does).
+  [[nodiscard]] strace::StringArena& arena() { return *arena_; }
+  [[nodiscard]] std::shared_ptr<strace::StringArena> share_arena() const { return arena_; }
+  /// Interns `path` once and returns the same view on repeat calls.
+  [[nodiscard]] std::string_view intern_path(const std::string& path) {
+    const auto it = path_cache_.find(path);
+    if (it != path_cache_.end()) return it->second;
+    const auto view = arena_->intern(path);
+    path_cache_.emplace(path, view);
+    return view;
+  }
+
   // fd table ----------------------------------------------------------
   int allocate_fd(const std::string& path) {
     const int fd = next_fd_++;
@@ -82,6 +100,8 @@ class ProcessContext {
   int next_fd_ = 3;
   std::map<int, FdState> fd_table_;
   std::vector<strace::RawRecord> records_;
+  std::shared_ptr<strace::StringArena> arena_ = std::make_shared<strace::StringArena>();
+  std::unordered_map<std::string, std::string_view> path_cache_;
 };
 
 /// Shared simulated I/O system (one per experiment run). The `seed`
@@ -127,8 +147,10 @@ class IoSystem {
   /// >= small_io_floor_us, plus the per-syscall ptrace-stop overhead.
   [[nodiscard]] des::SimTime service(Xoshiro256& rng, double base_us) const;
 
-  void emit(ProcessContext& proc, des::SimTime start, const std::string& call, std::string args,
-            std::int64_t retval, const std::string& path);
+  /// `call` must have static storage (a literal); `args` must already
+  /// be interned in the process arena; `path` is interned here.
+  void emit(ProcessContext& proc, des::SimTime start, std::string_view call,
+            std::string_view args, std::int64_t retval, const std::string& path);
 
   des::Simulator& sim_;
   CostModel model_;

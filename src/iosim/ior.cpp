@@ -236,6 +236,8 @@ TraceSet run_ior(const IorOptions& options, const CostModel& model) {
   sim.run();
 
   TraceSet out;
+  out.arenas.reserve(contexts.size());
+  for (const auto& ctx : contexts) out.arenas.push_back(ctx->share_arena());
   out.traces.reserve(static_cast<std::size_t>(options.num_ranks));
   for (int rank = 0; rank < options.num_ranks; ++rank) {
     RankTrace t;

@@ -23,11 +23,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "iosim/cost_model.hpp"
 #include "model/event_log.hpp"
+#include "strace/arena.hpp"
 #include "strace/filename.hpp"
 #include "strace/record.hpp"
 
@@ -87,6 +89,9 @@ struct RankTrace {
 /// All traces of one simulated run.
 struct TraceSet {
   std::vector<RankTrace> traces;
+  /// Arenas owning the synthesized strings the records view into; the
+  /// records of `traces` are valid only while this TraceSet is alive.
+  std::vector<std::shared_ptr<strace::StringArena>> arenas;
 
   /// Converts to the event model (one case per rank).
   [[nodiscard]] model::EventLog to_event_log() const;

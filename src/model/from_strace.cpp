@@ -40,6 +40,20 @@ Case case_from_records(const strace::TraceFileId& id,
 }
 
 EventLog event_log_from_files(const std::vector<std::string>& paths, std::size_t threads) {
+  // A lone file cannot be parallelized across files, so parallelize
+  // *within* it: the chunked zero-copy reader splits the buffer on
+  // line boundaries across the pool.
+  if (paths.size() == 1) {
+    const auto& path = paths.front();
+    const auto id = strace::parse_trace_filename(path);
+    if (!id) throw ParseError("trace file name does not follow cid_host_rid.st: " + path);
+    strace::ParallelReadOptions opts;
+    opts.threads = threads;
+    const auto result = strace::read_trace_file_parallel(path, opts);
+    std::vector<Case> cases;
+    cases.push_back(case_from_records(*id, result.records));
+    return EventLog(std::move(cases));
+  }
   ThreadPool pool(threads);
   auto cases = parallel_map(pool, paths, [](const std::string& path) {
     const auto id = strace::parse_trace_filename(path);

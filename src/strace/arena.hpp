@@ -1,0 +1,70 @@
+// Bump-pointer string arena backing RawRecord string fields.
+//
+// Parsed records view directly into the trace text wherever possible;
+// the few strings that must be synthesized (merged unfinished/resumed
+// argument lists, decoded C-string paths, simulator-generated argument
+// text) are interned here. Interned views stay valid for the arena's
+// lifetime, across moves of the arena itself (block storage is heap
+// allocated and never relocated).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace st::strace {
+
+class StringArena {
+ public:
+  StringArena() = default;
+  StringArena(const StringArena&) = delete;
+  StringArena& operator=(const StringArena&) = delete;
+  StringArena(StringArena&&) noexcept = default;
+  StringArena& operator=(StringArena&&) noexcept = default;
+
+  /// Copies `s` into the arena and returns a stable view of the copy.
+  std::string_view intern(std::string_view s) { return concat({s}); }
+
+  /// Interns the concatenation of `parts` without a temporary string.
+  std::string_view concat(std::initializer_list<std::string_view> parts) {
+    std::size_t total = 0;
+    for (const auto& p : parts) total += p.size();
+    char* dst = allocate(total);
+    char* cur = dst;
+    for (const auto& p : parts) {
+      std::memcpy(cur, p.data(), p.size());
+      cur += p.size();
+    }
+    return {dst, total};
+  }
+
+  /// Total bytes interned so far (diagnostics).
+  [[nodiscard]] std::size_t bytes_used() const { return used_; }
+
+ private:
+  static constexpr std::size_t kBlockBytes = 64 * 1024;
+
+  char* allocate(std::size_t n) {
+    if (n > block_left_) {
+      const std::size_t block = n > kBlockBytes ? n : kBlockBytes;
+      blocks_.push_back(std::make_unique<char[]>(block));
+      cursor_ = blocks_.back().get();
+      block_left_ = block;
+    }
+    char* out = cursor_;
+    cursor_ += n;
+    block_left_ -= n;
+    used_ += n;
+    return out;
+  }
+
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  char* cursor_ = nullptr;
+  std::size_t block_left_ = 0;
+  std::size_t used_ = 0;
+};
+
+}  // namespace st::strace

@@ -1,6 +1,7 @@
 #include "strace/parser.hpp"
 
-#include <cctype>
+#include <algorithm>
+#include <string>
 
 #include "strace/scan.hpp"
 #include "support/errors.hpp"
@@ -14,15 +15,33 @@ constexpr std::string_view kUnfinished = "<unfinished ...>";
 constexpr std::string_view kResumedOpen = "<... ";
 constexpr std::string_view kResumedClose = " resumed>";
 
+bool is_ascii_digit(char c) { return c >= '0' && c <= '9'; }
+bool is_ascii_ws(char c) { return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\v' || c == '\f'; }
+
 bool is_syscall_name_char(char c) {
-  return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_';
+  return is_ascii_digit(c) || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+/// Shared scratch for the one split_args pass per record; reused across
+/// lines so steady-state parsing does not allocate.
+std::vector<std::string_view>& scratch_argv() {
+  thread_local std::vector<std::string_view> argv;
+  return argv;
+}
+
+/// Fallback arena for the convenience parse_line/ResumeMerger entry
+/// points that have no buffer to intern into.
+StringArena& thread_arena() {
+  thread_local StringArena arena;
+  return arena;
 }
 
 /// Extracts the file path of the record per the paper's rules: the -y
 /// annotation on the first fd argument, or — for path-taking calls —
-/// the quoted path argument / annotated return value.
-void extract_path(RawRecord& rec) {
-  const auto args = split_args(rec.args);
+/// the quoted path argument / annotated return value. `args` is the
+/// pre-split argument list (single-pass scanning: the split happens
+/// once per record and is shared with extract_requested).
+void extract_path(RawRecord& rec, const std::vector<std::string_view>& args, StringArena& arena) {
   if (!args.empty()) {
     if (const auto fp = parse_fd_annotation(args.front())) {
       rec.fd = fp->fd;
@@ -43,7 +62,7 @@ void extract_path(RawRecord& rec) {
   if ((second_arg_path || first_arg_path) && args.size() > idx) {
     std::string_view a = args[idx];
     if (a.size() >= 2 && a.front() == '"' && a.back() == '"') {
-      rec.path = decode_c_string(a.substr(1, a.size() - 2));
+      rec.path = decode_c_string(a.substr(1, a.size() - 2), arena);
       return;
     }
   }
@@ -58,12 +77,29 @@ void extract_path(RawRecord& rec) {
   }
 }
 
+/// The calls whose third argument is a byte count (fd, buf, count
+/// [, offset]). Restricting the "third argument" rule to this set
+/// keeps e.g. fallocate's mode or flag arguments from being misread
+/// as sizes.
+bool third_arg_is_count(std::string_view call) {
+  return call == "read" || call == "write" || call == "pread64" || call == "pwrite64" ||
+         call == "recv" || call == "send" || call == "recvfrom" || call == "sendto";
+}
+
+/// Vectored I/O: the third argument is iovcnt and the argument list
+/// carries no byte count at all (the sizes live inside the iovec
+/// dump), so `requested` stays unset.
+bool is_vectored_io(std::string_view call) {
+  return call == "readv" || call == "writev" || call == "preadv" || call == "pwritev" ||
+         call == "preadv2" || call == "pwritev2";
+}
+
 /// Extracts the requested byte count: third argument for read/write
-/// style calls (fd, buf, count[, offset]), otherwise the last numeric
+/// family calls (fd, buf, count[, offset]), otherwise the last numeric
 /// argument if any.
-void extract_requested(RawRecord& rec) {
-  const auto args = split_args(rec.args);
-  if (args.size() >= 3) {
+void extract_requested(RawRecord& rec, const std::vector<std::string_view>& args) {
+  if (is_vectored_io(rec.call)) return;
+  if (third_arg_is_count(rec.call) && args.size() >= 3) {
     if (const auto v = parse_i64(args[2])) {
       rec.requested = *v;
       return;
@@ -100,8 +136,9 @@ void parse_result_suffix(RawRecord& rec, std::string_view suffix) {
   if (s.empty() || s == "?") return;  // "?" := call did not return
 
   // Return token: integer, hex pointer, or fd-with-path annotation.
-  const auto fields = split_ws(s);
-  std::string_view ret_tok = fields.front();
+  std::size_t tok_end = 0;
+  while (tok_end < s.size() && !is_ascii_ws(s[tok_end])) ++tok_end;
+  const std::string_view ret_tok = s.substr(0, tok_end);
   if (const auto fp = parse_fd_annotation(ret_tok)) {
     rec.retval = fp->fd;
     // An annotated return path (openat) resolves the accessed file.
@@ -113,15 +150,18 @@ void parse_result_suffix(RawRecord& rec, std::string_view suffix) {
   }
 
   // Errno name follows a negative return: "-1 ENOENT (No such file...)".
-  if (rec.retval && *rec.retval < 0 && fields.size() >= 2) {
-    const std::string_view name = fields[1];
-    if (!name.empty() && name.front() == 'E') rec.errno_name = std::string(name);
+  if (rec.retval && *rec.retval < 0) {
+    const std::string_view rest = trim(s.substr(tok_end));
+    std::size_t name_end = 0;
+    while (name_end < rest.size() && !is_ascii_ws(rest[name_end])) ++name_end;
+    const std::string_view name = rest.substr(0, name_end);
+    if (!name.empty() && name.front() == 'E') rec.errno_name = name;
   }
 }
 
 }  // namespace
 
-std::optional<RawRecord> parse_line(std::string_view line) {
+std::optional<RawRecord> parse_line(std::string_view line, StringArena& arena) {
   std::string_view s = trim(line);
   if (s.empty()) return std::nullopt;
 
@@ -129,14 +169,14 @@ std::optional<RawRecord> parse_line(std::string_view line) {
 
   // PID
   std::size_t i = 0;
-  while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])) != 0) ++i;
+  while (i < s.size() && is_ascii_digit(s[i])) ++i;
   if (i == 0) throw ParseError("missing pid: " + std::string(line));
   rec.pid = *parse_u64(s.substr(0, i));
   s = trim(s.substr(i));
 
   // Timestamp
   std::size_t ts_end = 0;
-  while (ts_end < s.size() && std::isspace(static_cast<unsigned char>(s[ts_end])) == 0) ++ts_end;
+  while (ts_end < s.size() && !is_ascii_ws(s[ts_end])) ++ts_end;
   const auto ts = parse_time_of_day(s.substr(0, ts_end));
   if (!ts) throw ParseError("missing -tt timestamp: " + std::string(line));
   rec.timestamp = *ts;
@@ -145,14 +185,15 @@ std::optional<RawRecord> parse_line(std::string_view line) {
   // Signal / exit records.
   if (s.starts_with("---")) {
     rec.kind = RecordKind::Signal;
-    rec.args = std::string(trim(s.substr(3, s.size() > 6 ? s.size() - 6 : 0)));
-    const auto fields = split_ws(rec.args);
-    if (!fields.empty()) rec.call = std::string(fields.front());
+    rec.args = trim(s.substr(3, s.size() > 6 ? s.size() - 6 : 0));
+    std::size_t name_end = 0;
+    while (name_end < rec.args.size() && !is_ascii_ws(rec.args[name_end])) ++name_end;
+    rec.call = rec.args.substr(0, name_end);
     return rec;
   }
   if (s.starts_with("+++")) {
     rec.kind = RecordKind::Exit;
-    rec.args = std::string(trim(s.substr(3, s.size() > 6 ? s.size() - 6 : 0)));
+    rec.args = trim(s.substr(3, s.size() > 6 ? s.size() - 6 : 0));
     rec.call = "exit";
     return rec;
   }
@@ -162,7 +203,7 @@ std::optional<RawRecord> parse_line(std::string_view line) {
     const auto close = s.find(kResumedClose);
     if (close == std::string_view::npos) throw ParseError("bad resumed record: " + std::string(line));
     rec.kind = RecordKind::Resumed;
-    rec.call = std::string(trim(s.substr(kResumedOpen.size(), close - kResumedOpen.size())));
+    rec.call = trim(s.substr(kResumedOpen.size(), close - kResumedOpen.size()));
     std::string_view rest = s.substr(close + kResumedClose.size());
     // rest = "args) = ret <dur>"; find the top-level ')' scanning with
     // quote awareness (there is no opening paren on this line).
@@ -188,7 +229,7 @@ std::optional<RawRecord> parse_line(std::string_view line) {
       ++j;
     }
     if (!close_paren) throw ParseError("resumed record without ')': " + std::string(line));
-    rec.args = std::string(trim(rest.substr(0, *close_paren)));
+    rec.args = trim(rest.substr(0, *close_paren));
     parse_result_suffix(rec, rest.substr(*close_paren + 1));
     return rec;
   }
@@ -199,30 +240,68 @@ std::optional<RawRecord> parse_line(std::string_view line) {
   if (name_end == 0 || name_end >= s.size() || s[name_end] != '(') {
     throw ParseError("expected 'call(' : " + std::string(line));
   }
-  rec.call = std::string(s.substr(0, name_end));
+  rec.call = s.substr(0, name_end);
+
+  auto& argv = scratch_argv();
 
   if (s.ends_with(kUnfinished)) {
     rec.kind = RecordKind::Unfinished;
     std::string_view args = s.substr(name_end + 1, s.size() - name_end - 1 - kUnfinished.size());
-    rec.args = std::string(trim(args));
+    rec.args = trim(args);
     // Strip a trailing comma left before "<unfinished ...>".
     if (!rec.args.empty() && rec.args.back() == ',') {
-      rec.args.pop_back();
-      rec.args = std::string(trim(rec.args));
+      rec.args.remove_suffix(1);
+      rec.args = trim(rec.args);
     }
-    extract_path(rec);
+    split_args_into(rec.args, argv);
+    extract_path(rec, argv, arena);
     return rec;
   }
 
   const auto close = find_matching_paren(s, name_end);
   if (!close) throw ParseError("unbalanced parentheses: " + std::string(line));
   rec.kind = RecordKind::Complete;
-  rec.args = std::string(s.substr(name_end + 1, *close - name_end - 1));
+  rec.args = s.substr(name_end + 1, *close - name_end - 1);
   parse_result_suffix(rec, s.substr(*close + 1));
-  extract_path(rec);
-  extract_requested(rec);
+  split_args_into(rec.args, argv);
+  extract_path(rec, argv, arena);
+  extract_requested(rec, argv);
   return rec;
 }
+
+std::optional<RawRecord> parse_line(std::string_view line) {
+  return parse_line(line, thread_arena());
+}
+
+namespace detail {
+
+RawRecord merge_resumed_pair(RawRecord unfinished, const RawRecord& resumed, StringArena& arena) {
+  if (unfinished.call != resumed.call) {
+    throw ParseError("resumed call '" + std::string(resumed.call) + "' does not match unfinished '" +
+                     std::string(unfinished.call) + "' for pid " + std::to_string(resumed.pid));
+  }
+  RawRecord merged = std::move(unfinished);
+  merged.kind = RecordKind::Complete;
+  // Start timestamp stays from the unfinished part; duration and
+  // return value are only known at resume time (paper, Sec. III).
+  if (!merged.args.empty() && !resumed.args.empty()) {
+    merged.args = arena.concat({merged.args, ", ", resumed.args});
+  } else if (!resumed.args.empty()) {
+    merged.args = resumed.args;
+  }
+  merged.retval = resumed.retval;
+  merged.errno_name = resumed.errno_name;
+  merged.duration = resumed.duration;
+  // Re-extract path/requested in place from the merged argument list:
+  // one split, no probe record copies.
+  auto& argv = scratch_argv();
+  split_args_into(merged.args, argv);
+  if (merged.path.empty()) extract_path(merged, argv, arena);
+  extract_requested(merged, argv);
+  return merged;
+}
+
+}  // namespace detail
 
 std::optional<RawRecord> ResumeMerger::feed(RawRecord rec) {
   switch (rec.kind) {
@@ -240,35 +319,9 @@ std::optional<RawRecord> ResumeMerger::feed(RawRecord rec) {
         throw ParseError("resumed record for pid " + std::to_string(rec.pid) +
                          " without matching unfinished record");
       }
-      RawRecord merged = std::move(it->second);
+      RawRecord pending = std::move(it->second);
       pending_.erase(it);
-      if (merged.call != rec.call) {
-        throw ParseError("resumed call '" + rec.call + "' does not match unfinished '" +
-                         merged.call + "' for pid " + std::to_string(rec.pid));
-      }
-      merged.kind = RecordKind::Complete;
-      // Start timestamp stays from the unfinished part; duration and
-      // return value are only known at resume time (paper, Sec. III).
-      if (!merged.args.empty() && !rec.args.empty()) {
-        merged.args += ", " + rec.args;
-      } else if (!rec.args.empty()) {
-        merged.args = rec.args;
-      }
-      merged.retval = rec.retval;
-      merged.errno_name = rec.errno_name;
-      merged.duration = rec.duration;
-      if (merged.path.empty()) {
-        RawRecord probe = merged;
-        extract_path(probe);
-        merged.path = probe.path;
-        merged.fd = probe.fd;
-      }
-      {
-        RawRecord probe = merged;
-        extract_requested(probe);
-        merged.requested = probe.requested;
-      }
-      return merged;
+      return detail::merge_resumed_pair(std::move(pending), rec, *arena_);
     }
   }
   return std::nullopt;
@@ -279,6 +332,8 @@ std::vector<RawRecord> ResumeMerger::take_pending() {
   out.reserve(pending_.size());
   for (auto& [pid, rec] : pending_) out.push_back(std::move(rec));
   pending_.clear();
+  std::sort(out.begin(), out.end(),
+            [](const RawRecord& a, const RawRecord& b) { return a.pid < b.pid; });
   return out;
 }
 

@@ -1,7 +1,6 @@
 #include "strace/reader.hpp"
 
-#include <fstream>
-#include <sstream>
+#include <algorithm>
 
 #include "strace/parser.hpp"
 #include "support/errors.hpp"
@@ -9,49 +8,74 @@
 
 namespace st::strace {
 
-ReadResult read_trace_text(std::string_view text, const ReadOptions& opts) {
+ReadResult read_trace_buffer(std::shared_ptr<TraceBuffer> buffer, const ReadOptions& opts) {
   ReadResult result;
-  ResumeMerger merger;
+  result.buffer = std::move(buffer);
+  const std::string_view text = result.buffer->text();
+  StringArena& arena = result.buffer->arena();
+  result.records.reserve(
+      static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n')) + 1);
+
+  ResumeMerger merger(arena);
   std::size_t lineno = 0;
-  for (std::string_view line : split(text, '\n')) {
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    const std::size_t stop = nl == std::string_view::npos ? text.size() : nl;
+    const std::string_view line = text.substr(start, stop - start);
     ++lineno;
-    if (trim(line).empty()) continue;
-    std::optional<RawRecord> rec;
-    try {
-      rec = parse_line(line);
-    } catch (const ParseError& e) {
-      if (opts.strict) throw;
-      result.warnings.push_back("line " + std::to_string(lineno) + ": " + e.what());
-      continue;
-    }
-    if (!rec) continue;
-    std::optional<RawRecord> complete;
-    try {
-      complete = merger.feed(std::move(*rec));
-    } catch (const ParseError& e) {
-      if (opts.strict) throw;
-      result.warnings.push_back("line " + std::to_string(lineno) + ": " + e.what());
-      continue;
-    }
-    if (!complete) continue;
-    if (opts.drop_signals && complete->kind == RecordKind::Signal) continue;
-    if (opts.drop_exits && complete->kind == RecordKind::Exit) continue;
-    if (opts.drop_restarts && complete->is_restart()) continue;
-    result.records.push_back(std::move(*complete));
+
+    do {  // single-iteration scope so error paths can break to the next line
+      if (trim(line).empty()) break;
+      std::optional<RawRecord> rec;
+      try {
+        rec = parse_line(line, arena);
+      } catch (const ParseError& e) {
+        if (opts.strict) throw;
+        result.warnings.push_back("line " + std::to_string(lineno) + ": " + e.what());
+        break;
+      }
+      if (!rec) break;
+      std::optional<RawRecord> complete;
+      try {
+        complete = merger.feed(std::move(*rec));
+      } catch (const ParseError& e) {
+        if (opts.strict) throw;
+        result.warnings.push_back("line " + std::to_string(lineno) + ": " + e.what());
+        break;
+      }
+      if (!complete) break;
+      if (opts.drop_signals && complete->kind == RecordKind::Signal) break;
+      if (opts.drop_exits && complete->kind == RecordKind::Exit) break;
+      if (opts.drop_restarts && complete->is_restart()) break;
+      result.records.push_back(*complete);
+    } while (false);
+
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
   }
+
   for (auto& pending : merger.take_pending()) {
     result.warnings.push_back("unfinished call never resumed: pid " +
-                              std::to_string(pending.pid) + " " + pending.call);
+                              std::to_string(pending.pid) + " " + std::string(pending.call));
   }
   return result;
 }
 
+ReadResult read_trace_text(std::string_view text, const ReadOptions& opts) {
+  return read_trace_buffer(std::make_shared<TraceBuffer>(std::string(text)), opts);
+}
+
 ReadResult read_trace_file(const std::string& path, const ReadOptions& opts) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw IoError("cannot open trace file: " + path);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return read_trace_text(buf.str(), opts);
+  return read_trace_buffer(TraceBuffer::from_file(path), opts);
+}
+
+ReadResult read_trace_text_parallel(std::string_view text, const ParallelReadOptions& opts) {
+  return read_trace_parallel(std::make_shared<TraceBuffer>(std::string(text)), opts);
+}
+
+ReadResult read_trace_file_parallel(const std::string& path, const ParallelReadOptions& opts) {
+  return read_trace_parallel(TraceBuffer::from_file(path), opts);
 }
 
 }  // namespace st::strace

@@ -7,13 +7,30 @@
 //   4. drop ERESTARTSYS-interrupted calls,
 // and collects row-level problems as warnings instead of aborting the
 // whole file (real strace logs contain truncation and noise).
+//
+// Ingestion is zero-copy: the trace bytes are read once into a
+// TraceBuffer and records view into it (plus a small arena for merged
+// argument lists and decoded C paths). ReadResult carries the buffer,
+// so records stay valid as long as the result is alive.
+//
+// read_trace_parallel chunks the buffer on line boundaries, parses the
+// chunks on a ThreadPool via map_reduce, and folds per-PID sharded
+// unfinished/resumed state deterministically left-to-right — records,
+// ordering and warnings are byte-identical to the sequential reader.
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "strace/record.hpp"
+#include "strace/trace_buffer.hpp"
+
+namespace st {
+class ThreadPool;
+}  // namespace st
 
 namespace st::strace {
 
@@ -27,13 +44,41 @@ struct ReadOptions {
 struct ReadResult {
   std::vector<RawRecord> records;
   std::vector<std::string> warnings;  ///< one entry per skipped/incomplete line
+  /// Owns the bytes and arenas the records view into; records are valid
+  /// exactly as long as this buffer (shared, so results copy freely).
+  std::shared_ptr<TraceBuffer> buffer;
 };
 
-/// Parses a whole trace text (multiple lines).
+/// Parses a trace held in a TraceBuffer (zero-copy). Parsing interns
+/// into the buffer's arena: do not run two read_trace_* calls on the
+/// same buffer concurrently (sequential reuse is fine).
+[[nodiscard]] ReadResult read_trace_buffer(std::shared_ptr<TraceBuffer> buffer,
+                                           const ReadOptions& opts = {});
+
+/// Parses a whole trace text (multiple lines). The text is copied once
+/// into the result's TraceBuffer so the caller's string may die.
 [[nodiscard]] ReadResult read_trace_text(std::string_view text, const ReadOptions& opts = {});
 
-/// Reads and parses a trace file from disk. Throws IoError if the file
-/// cannot be opened.
+/// Reads and parses a trace file from disk with a single read into the
+/// result's TraceBuffer. Throws IoError if the file cannot be opened.
 [[nodiscard]] ReadResult read_trace_file(const std::string& path, const ReadOptions& opts = {});
+
+struct ParallelReadOptions : ReadOptions {
+  std::size_t threads = 0;             ///< pool size when `pool` is null; 0 = hardware
+  std::size_t min_chunk_bytes = 1 << 20;  ///< lower bound per parse chunk
+  ThreadPool* pool = nullptr;          ///< reuse an existing pool instead of creating one
+};
+
+/// Parallel variant of read_trace_buffer: byte-identical output
+/// (records, order, warnings, strict-mode exception) to the sequential
+/// reader, built with per-chunk parses folded left-to-right.
+[[nodiscard]] ReadResult read_trace_parallel(std::shared_ptr<TraceBuffer> buffer,
+                                             const ParallelReadOptions& opts = {});
+
+[[nodiscard]] ReadResult read_trace_text_parallel(std::string_view text,
+                                                  const ParallelReadOptions& opts = {});
+
+[[nodiscard]] ReadResult read_trace_file_parallel(const std::string& path,
+                                                  const ParallelReadOptions& opts = {});
 
 }  // namespace st::strace

@@ -10,7 +10,7 @@
 
 #include <cstdint>
 #include <optional>
-#include <string>
+#include <string_view>
 
 #include "support/timeparse.hpp"
 
@@ -25,26 +25,31 @@ enum class RecordKind : std::uint8_t {
   Exit,        ///< "+++ exited with N +++" or "+++ killed by ... +++"
 };
 
-/// A parsed strace line (or merged pair). String fields view into
-/// nothing — they own their bytes, so records outlive the input buffer.
+/// A parsed strace line (or merged pair). String fields are zero-copy
+/// views into the trace bytes (TraceBuffer) or into a StringArena for
+/// synthesized strings (merged argument lists, decoded C paths). A
+/// record is valid only while the buffer/arena that produced it lives;
+/// ReadResult keeps its TraceBuffer alive for exactly this reason.
+/// Hand-built records (simulator, tests) may point at string literals
+/// or at an arena they intern into.
 struct RawRecord {
   std::uint64_t pid = 0;
   Micros timestamp = 0;  ///< microseconds since midnight (-tt)
   RecordKind kind = RecordKind::Complete;
-  std::string call;  ///< syscall name ("read", "openat", ...)
-  std::string args;  ///< raw text between the outermost parentheses
+  std::string_view call;  ///< syscall name ("read", "openat", ...)
+  std::string_view args;  ///< raw text between the outermost parentheses
 
   /// File descriptor of the first argument when annotated by -y
   /// ("3</usr/lib/libc.so.6>"), or of the return value for openat.
   std::optional<int> fd;
   /// Path extracted from the -y annotation or from the quoted path
   /// argument of openat/open/creat/stat-like calls. Empty if none.
-  std::string path;
+  std::string_view path;
 
   std::optional<std::int64_t> retval;       ///< value after '='
-  std::string errno_name;                   ///< "ERESTARTSYS", "EAGAIN", ... when retval < 0
+  std::string_view errno_name;              ///< "ERESTARTSYS", "EAGAIN", ... when retval < 0
   std::optional<Micros> duration;           ///< <0.000203> -> 203 (-T)
-  std::optional<std::int64_t> requested;    ///< last numeric argument (bytes requested)
+  std::optional<std::int64_t> requested;    ///< bytes requested (rw calls: 3rd argument)
 
   /// True for the variants of read/write that move payload bytes, for
   /// which the paper parses the transfer size from the return value.

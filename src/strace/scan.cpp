@@ -45,8 +45,8 @@ std::optional<std::size_t> find_matching_paren(std::string_view s, std::size_t o
   return std::nullopt;
 }
 
-std::vector<std::string_view> split_args(std::string_view args) {
-  std::vector<std::string_view> out;
+void split_args_into(std::string_view args, std::vector<std::string_view>& out) {
+  out.clear();
   int depth = 0;
   std::size_t field_start = 0;
   std::size_t i = 0;
@@ -70,6 +70,11 @@ std::vector<std::string_view> split_args(std::string_view args) {
   }
   const auto last = trim(args.substr(field_start));
   if (!last.empty() || !out.empty()) out.push_back(last);
+}
+
+std::vector<std::string_view> split_args(std::string_view args) {
+  std::vector<std::string_view> out;
+  split_args_into(args, out);
   return out;
 }
 
@@ -140,6 +145,11 @@ std::string decode_c_string(std::string_view body) {
   return out;
 }
 
+std::string_view decode_c_string(std::string_view body, StringArena& arena) {
+  if (body.find('\\') == std::string_view::npos) return body;  // zero-copy fast path
+  return arena.intern(decode_c_string(body));
+}
+
 std::optional<FdPath> parse_fd_annotation(std::string_view token) {
   // N<path> where N is a small decimal integer.
   std::size_t i = 0;
@@ -150,7 +160,7 @@ std::optional<FdPath> parse_fd_annotation(std::string_view token) {
   if (!fd || *fd < 0 || *fd > 1'000'000) return std::nullopt;
   FdPath out;
   out.fd = static_cast<int>(*fd);
-  out.path = std::string(token.substr(i + 1, token.size() - i - 2));
+  out.path = token.substr(i + 1, token.size() - i - 2);
   return out;
 }
 

@@ -4,7 +4,9 @@
 // ("a\n\"b\331"...), nested braces/brackets (struct and array dumps)
 // and the -y fd annotations "3</path/to/file>". These helpers let the
 // record parser find structural positions without fully interpreting
-// the argument values.
+// the argument values. Everything is zero-copy: results view into the
+// input except decode_c_string, which interns into a StringArena only
+// when the literal actually contains escapes.
 #pragma once
 
 #include <cstddef>
@@ -12,6 +14,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "strace/arena.hpp"
 
 namespace st::strace {
 
@@ -26,17 +30,28 @@ namespace st::strace {
 
 /// Splits a raw argument string on top-level commas (commas inside
 /// quotes/braces/brackets/parens do not split). Fields are trimmed.
+/// Appends into `out` (cleared first) so the parse loop can reuse one
+/// vector across lines instead of allocating per record.
+void split_args_into(std::string_view args, std::vector<std::string_view>& out);
+
+/// Convenience wrapper allocating a fresh vector.
 [[nodiscard]] std::vector<std::string_view> split_args(std::string_view args);
 
 /// Decodes a C-style string literal body (no surrounding quotes):
 /// handles \n \t \r \0 \\ \" \xHH and octal \NNN escapes.
 [[nodiscard]] std::string decode_c_string(std::string_view body);
 
+/// Zero-copy variant: returns `body` unchanged when it contains no
+/// backslash (the overwhelmingly common case for paths), otherwise
+/// decodes into `arena` and returns the interned view.
+[[nodiscard]] std::string_view decode_c_string(std::string_view body, StringArena& arena);
+
 /// Parses an fd-with-path annotation "3</usr/lib/libc.so.6>"
-/// or "4<socket:[12345]>". Returns (fd, path-inside-angle-brackets).
+/// or "4<socket:[12345]>". Returns (fd, path-inside-angle-brackets);
+/// the path views into `token`.
 struct FdPath {
   int fd = -1;
-  std::string path;
+  std::string_view path;
 };
 [[nodiscard]] std::optional<FdPath> parse_fd_annotation(std::string_view token);
 

@@ -1,0 +1,22 @@
+#include "strace/trace_buffer.hpp"
+
+#include <fstream>
+
+#include "support/errors.hpp"
+
+namespace st::strace {
+
+std::shared_ptr<TraceBuffer> TraceBuffer::from_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw IoError("cannot open trace file: " + path);
+  const std::streamsize size = in.tellg();
+  if (size < 0) throw IoError("cannot stat trace file: " + path);
+  in.seekg(0);
+  std::string text(static_cast<std::size_t>(size), '\0');
+  if (size > 0 && !in.read(text.data(), size)) {
+    throw IoError("cannot read trace file: " + path);
+  }
+  return std::make_shared<TraceBuffer>(std::move(text));
+}
+
+}  // namespace st::strace

@@ -1,0 +1,49 @@
+// Owned trace bytes + the arenas parsed records view into.
+//
+// The zero-copy ingestion contract: a RawRecord produced by the reader
+// holds std::string_view fields that point either into this buffer's
+// text (the common case) or into one of its arenas (synthesized
+// strings). Records are therefore valid exactly as long as the
+// TraceBuffer that produced them is alive; ReadResult carries the
+// buffer as a shared_ptr so the contract is upheld by construction.
+//
+// Concurrency: parsing a buffer MUTATES it (interning into arena(),
+// adopt()). At most one read_trace_* call may run on a given buffer
+// at a time — read_trace_parallel synchronizes its own workers, but
+// two overlapping reads of the same buffer are a data race. Records
+// and text() may be read freely once parsing has returned.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "strace/arena.hpp"
+
+namespace st::strace {
+
+class TraceBuffer {
+ public:
+  TraceBuffer() = default;
+  explicit TraceBuffer(std::string text) : text_(std::move(text)) {}
+
+  /// Reads the whole file with a single read() into the buffer.
+  /// Throws IoError if the file cannot be opened.
+  [[nodiscard]] static std::shared_ptr<TraceBuffer> from_file(const std::string& path);
+
+  [[nodiscard]] std::string_view text() const { return text_; }
+
+  /// Default arena for sequential parsing.
+  [[nodiscard]] StringArena& arena() { return arenas_.front(); }
+
+  /// Takes ownership of a per-chunk arena from the parallel reader so
+  /// views into it live as long as the buffer.
+  void adopt(StringArena&& arena) { arenas_.push_back(std::move(arena)); }
+
+ private:
+  std::string text_;
+  std::deque<StringArena> arenas_ = std::deque<StringArena>(1);
+};
+
+}  // namespace st::strace

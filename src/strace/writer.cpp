@@ -43,22 +43,35 @@ std::string format_record(const RawRecord& rec, const WriteOptions& opts) {
   append_header(out, rec);
   switch (rec.kind) {
     case RecordKind::Signal:
-      out += "--- " + rec.args + " ---";
+      out += "--- ";
+      out += rec.args;
+      out += " ---";
       return out;
     case RecordKind::Exit:
-      out += "+++ " + rec.args + " +++";
+      out += "+++ ";
+      out += rec.args;
+      out += " +++";
       return out;
     case RecordKind::Unfinished:
-      out += rec.call + "(" + rec.args;
+      out += rec.call;
+      out += '(';
+      out += rec.args;
       if (!rec.args.empty()) out += ", ";
       out += " <unfinished ...>";
       return out;
     case RecordKind::Resumed:
-      out += "<... " + rec.call + " resumed> " + rec.args + ")";
+      out += "<... ";
+      out += rec.call;
+      out += " resumed> ";
+      out += rec.args;
+      out += ')';
       append_result(out, rec);
       return out;
     case RecordKind::Complete:
-      out += rec.call + "(" + rec.args + ")";
+      out += rec.call;
+      out += '(';
+      out += rec.args;
+      out += ')';
       append_result(out, rec);
       return out;
   }
@@ -112,12 +125,13 @@ std::string format_trace_interleaved(std::vector<RawRecord> records, const Write
     }
     // Split: the first argument (the -y fd annotation) stays on the
     // unfinished line; the remainder moves to the resumed line, where
-    // the return value and duration are reported.
-    std::string head = r.args;
-    std::string tail;
-    if (const auto comma = r.args.find(','); comma != std::string::npos) {
+    // the return value and duration are reported. head/tail view into
+    // r.args, which outlives the formatting below.
+    std::string_view head = r.args;
+    std::string_view tail;
+    if (const auto comma = r.args.find(','); comma != std::string_view::npos) {
       head = r.args.substr(0, comma);
-      tail = r.args.substr(comma + 2);  // skip ", "
+      tail = r.args.substr(std::min(comma + 2, r.args.size()));  // skip ", "
     }
     RawRecord unfinished = r;
     unfinished.kind = RecordKind::Unfinished;

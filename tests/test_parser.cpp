@@ -264,6 +264,27 @@ TEST(ParseLine, HexPointerReturnHasNoSize) {
   EXPECT_FALSE(rec->retval);
 }
 
+TEST(ParseLine, NonRwThirdNumericArgNotMisreadAsSize) {
+  // fallocate(fd, mode, offset, len): the third argument is an offset,
+  // not a byte count — the rw-family third-argument rule must not
+  // apply, leaving the last numeric argument (the length).
+  const auto rec =
+      parse_line("1  10:00:00.000000 fallocate(3</a>, 0, 0, 1048576) = 0 <0.000010>");
+  ASSERT_TRUE(rec);
+  EXPECT_EQ(rec->requested, 1048576);
+}
+
+TEST(ParseLine, VectoredIoLeavesRequestedUnset) {
+  // preadv's third argument is iovcnt; the byte sizes live inside the
+  // iovec dump, so no requested count is extractable.
+  const auto rec = parse_line(
+      "1  10:00:00.000000 preadv(3</a>, [{iov_base=..., iov_len=4096}], 2, 8192) = 4096 "
+      "<0.000010>");
+  ASSERT_TRUE(rec);
+  EXPECT_FALSE(rec->requested);
+  EXPECT_TRUE(rec->is_data_transfer());
+}
+
 TEST(ParseLine, DataTransferClassification) {
   EXPECT_TRUE(parse_line("1  10:00:00.000000 readv(3</a>, [], 2) = 10 <0.000001>")->is_data_transfer());
   EXPECT_TRUE(parse_line("1  10:00:00.000000 pwritev(3</a>, [], 2, 0) = 10 <0.000001>")

@@ -39,25 +39,33 @@ std::string random_path(Xoshiro256& rng) {
   return path;
 }
 
+/// Arena for the synthesized record strings; outlives every record a
+/// test builds.
+strace::StringArena& record_arena() {
+  static strace::StringArena arena;
+  return arena;
+}
+
 strace::RawRecord random_record(Xoshiro256& rng, std::uint64_t pid, Micros at) {
   static const char* kCalls[] = {"read", "write", "pread64", "pwrite64", "lseek", "openat"};
+  strace::StringArena& arena = record_arena();
   strace::RawRecord rec;
   rec.pid = pid;
   rec.timestamp = at;
   rec.call = kCalls[rng.below(6)];
   rec.duration = static_cast<Micros>(1 + rng.below(500));
   const std::string path = random_path(rng);
-  rec.path = path;
+  rec.path = arena.intern(path);
   if (rec.call == "openat") {
-    rec.args = "AT_FDCWD, \"" + path + "\", O_RDONLY";
+    rec.args = arena.concat({"AT_FDCWD, \"", path, "\", O_RDONLY"});
     rec.retval = static_cast<std::int64_t>(3 + rng.below(20));
   } else if (rec.call == "lseek") {
     const auto offset = static_cast<std::int64_t>(rng.below(1 << 30));
-    rec.args = "3<" + path + ">, " + std::to_string(offset) + ", SEEK_SET";
+    rec.args = arena.concat({"3<", path, ">, ", std::to_string(offset), ", SEEK_SET"});
     rec.retval = offset;
   } else {
     const auto bytes = static_cast<std::int64_t>(rng.below(1 << 22));
-    rec.args = "3<" + path + ">, \"\"..., " + std::to_string(bytes);
+    rec.args = arena.concat({"3<", path, ">, \"\"..., ", std::to_string(bytes)});
     rec.retval = bytes;
     rec.requested = bytes;
   }
@@ -95,8 +103,9 @@ TEST_P(PipelineProperty, RecordWriterParserRoundTrip) {
   for (int i = 0; i < 200; ++i) {
     t += static_cast<Micros>(rng.below(1000));
     const auto rec = random_record(rng, 1 + rng.below(4), t);
-    const auto reparsed = strace::parse_line(strace::format_record(rec));
-    ASSERT_TRUE(reparsed) << strace::format_record(rec);
+    const std::string line = strace::format_record(rec);  // must outlive the record's views
+    const auto reparsed = strace::parse_line(line);
+    ASSERT_TRUE(reparsed) << line;
     EXPECT_EQ(reparsed->pid, rec.pid);
     EXPECT_EQ(reparsed->timestamp, rec.timestamp);
     EXPECT_EQ(reparsed->call, rec.call);

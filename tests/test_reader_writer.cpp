@@ -107,7 +107,8 @@ TEST(Writer, RoundTripsThroughParser) {
   rec.retval = 1048576;
   rec.duration = 294;
 
-  const auto reparsed = parse_line(format_record(rec));
+  const std::string line = format_record(rec);  // must outlive the record's views
+  const auto reparsed = parse_line(line);
   ASSERT_TRUE(reparsed);
   EXPECT_EQ(reparsed->pid, rec.pid);
   EXPECT_EQ(reparsed->timestamp, rec.timestamp);
@@ -119,13 +120,14 @@ TEST(Writer, RoundTripsThroughParser) {
 }
 
 TEST(Writer, TraceTextRoundTripsThroughReader) {
+  StringArena arena;
   std::vector<RawRecord> records;
   for (int i = 0; i < 10; ++i) {
     RawRecord rec;
     rec.pid = 50;
     rec.timestamp = 1000 + i * 100;
     rec.call = i % 2 == 0 ? "read" : "write";
-    rec.args = "3</data/file>, \"\"..., " + std::to_string(512 * (i + 1));
+    rec.args = arena.concat({"3</data/file>, \"\"..., ", std::to_string(512 * (i + 1))});
     rec.retval = 512 * (i + 1);
     rec.duration = 10 + i;
     records.push_back(rec);

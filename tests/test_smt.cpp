@@ -19,11 +19,12 @@ namespace {
 
 strace::RawRecord rec(std::uint64_t pid, Micros start, Micros dur, const char* call,
                       const char* path, std::int64_t bytes) {
+  static strace::StringArena arena;  // outlives every test's records
   strace::RawRecord r;
   r.pid = pid;
   r.timestamp = start;
   r.call = call;
-  r.args = "3<" + std::string(path) + ">, \"\"..., " + std::to_string(bytes);
+  r.args = arena.concat({"3<", path, ">, \"\"..., ", std::to_string(bytes)});
   r.path = path;
   r.retval = bytes;
   r.duration = dur;
