@@ -11,6 +11,12 @@
 // bench/baseline_seed.json (see bench/run_bench.sh).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "model/from_strace.hpp"
+#include "parallel/algorithms.hpp"
 #include "parallel/thread_pool.hpp"
 #include "strace/parser.hpp"
 #include "strace/reader.hpp"
@@ -154,6 +160,172 @@ void BM_ReadTraceParallelMixed(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(text.size()));
 }
 BENCHMARK(BM_ReadTraceParallelMixed)->Range(1 << 14, 1 << 17);
+
+// ---- event-log construction (model layer) ------------------------------
+
+/// Acceptance metric of the arena-interning PR: converting parsed
+/// records into model Events. Events hold string_views interned
+/// per-case, so this is a flat copy of POD + views.
+void BM_EventLogFromRecords(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto parsed = strace::read_trace_text(make_mixed_trace(n));
+  const strace::TraceFileId id{"bench", "node1", 9001};
+  for (auto _ : state) {
+    strace::StringArena arena;
+    benchmark::DoNotOptimize(model::case_from_records(id, parsed.records, arena));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(parsed.records.size()));
+}
+BENCHMARK(BM_EventLogFromRecords)->Range(1 << 14, 1 << 17);
+
+/// The PR 1 behaviour, replicated for the speedup record: four owned
+/// heap strings copied per event (cid/host/call/fp).
+void BM_EventLogFromRecordsCopying(benchmark::State& state) {
+  struct OwnedEvent {
+    std::string cid;
+    std::string host;
+    std::uint64_t rid = 0;
+    std::uint64_t pid = 0;
+    std::string call;
+    Micros start = 0;
+    Micros dur = 0;
+    std::string fp;
+    std::int64_t size = -1;
+  };
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto parsed = strace::read_trace_text(make_mixed_trace(n));
+  const strace::TraceFileId id{"bench", "node1", 9001};
+  for (auto _ : state) {
+    std::vector<OwnedEvent> events;
+    events.reserve(parsed.records.size());
+    for (const auto& rec : parsed.records) {
+      if (rec.kind != strace::RecordKind::Complete) continue;
+      OwnedEvent e;
+      e.cid = id.cid;
+      e.host = id.host;
+      e.rid = id.rid;
+      e.pid = rec.pid;
+      e.call = rec.call;
+      e.start = rec.timestamp;
+      e.dur = rec.duration.value_or(0);
+      e.fp = rec.path;
+      if (rec.is_data_transfer() && rec.retval && *rec.retval >= 0) e.size = *rec.retval;
+      events.push_back(std::move(e));
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const OwnedEvent& a, const OwnedEvent& b) { return a.start < b.start; });
+    benchmark::DoNotOptimize(events);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(parsed.records.size()));
+}
+BENCHMARK(BM_EventLogFromRecordsCopying)->Range(1 << 14, 1 << 17);
+
+// ---- mixed per-file + intra-file parallelism ---------------------------
+
+/// 1 big file + N small ones on disk — the workload where PR 1's
+/// either/or parallelism (per-file XOR intra-file) leaves cores idle.
+class MixedFileSet {
+ public:
+  static const MixedFileSet& instance() {
+    static MixedFileSet set;
+    return set;
+  }
+
+  [[nodiscard]] const std::vector<std::string>& paths() const { return paths_; }
+  [[nodiscard]] std::int64_t total_bytes() const { return total_bytes_; }
+
+  MixedFileSet(const MixedFileSet&) = delete;
+  MixedFileSet& operator=(const MixedFileSet&) = delete;
+
+ private:
+  MixedFileSet() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("st_bench_mixed_" + std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    std::filesystem::create_directories(dir_);
+    const auto write = [&](const std::string& name, std::size_t lines) {
+      const auto path = (dir_ / name).string();
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      const std::string text = make_mixed_trace(lines);
+      out << text;
+      paths_.push_back(path);
+      total_bytes_ += static_cast<std::int64_t>(text.size());
+    };
+    write("big_node1_9000.st", 1 << 17);  // ~10 MB
+    for (int i = 0; i < 8; ++i) {
+      write("small_node1_" + std::to_string(9001 + i) + ".st", 1 << 12);
+    }
+  }
+
+  ~MixedFileSet() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::filesystem::path dir_;
+  std::vector<std::string> paths_;
+  std::int64_t total_bytes_ = 0;
+};
+
+/// PR 1 multi-file path: per-file parallelism only (each file parsed
+/// sequentially on a pool worker).
+void BM_MixedFiles_PerFileOnly(benchmark::State& state) {
+  const auto& set = MixedFileSet::instance();
+  ThreadPool pool(0);
+  for (auto _ : state) {
+    auto results = parallel_map(pool, set.paths(), [](const std::string& path) {
+      return strace::read_trace_file(path);
+    });
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetBytesProcessed(state.iterations() * set.total_bytes());
+}
+BENCHMARK(BM_MixedFiles_PerFileOnly)->UseRealTime();
+
+/// PR 1 single-file path applied file by file: intra-file parallelism
+/// only (files processed one after another).
+void BM_MixedFiles_IntraFileOnly(benchmark::State& state) {
+  const auto& set = MixedFileSet::instance();
+  ThreadPool pool(0);
+  strace::ParallelReadOptions opts;
+  opts.pool = &pool;
+  opts.min_chunk_bytes = 1 << 18;
+  for (auto _ : state) {
+    std::vector<strace::ReadResult> results;
+    results.reserve(set.paths().size());
+    for (const auto& path : set.paths()) {
+      results.push_back(strace::read_trace_file_parallel(path, opts));
+    }
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetBytesProcessed(state.iterations() * set.total_bytes());
+}
+BENCHMARK(BM_MixedFiles_IntraFileOnly)->UseRealTime();
+
+/// This PR: one work queue of (file, chunk) tasks across all files.
+void BM_MixedFiles_Mixed(benchmark::State& state) {
+  const auto& set = MixedFileSet::instance();
+  ThreadPool pool(0);
+  strace::ParallelReadOptions opts;
+  opts.pool = &pool;
+  opts.min_chunk_bytes = 1 << 18;
+  for (auto _ : state) {
+    auto results = strace::read_trace_files_mixed(set.paths(), opts);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetBytesProcessed(state.iterations() * set.total_bytes());
+}
+BENCHMARK(BM_MixedFiles_Mixed)->UseRealTime();
+
+/// End-to-end: files on disk -> EventLog (mmap + mixed parallel parse +
+/// arena-interned event construction).
+void BM_EventLogFromFilesMixed(benchmark::State& state) {
+  const auto& set = MixedFileSet::instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::event_log_from_files(set.paths()));
+  }
+  state.SetBytesProcessed(state.iterations() * set.total_bytes());
+}
+BENCHMARK(BM_EventLogFromFilesMixed)->UseRealTime();
 
 void BM_WriteTrace(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -40,7 +40,7 @@ int main() {
   // 2) The mapping function of the listing: truncate the path to the
   //    top two directories and prepend the call name.
   const auto f = model::Mapping::custom("fig6", [](const model::Event& e) {
-    return std::optional<model::Activity>(e.call + "\n" + top_dirs(e.fp, 2));
+    return std::optional<model::Activity>(std::string(e.call) + "\n" + top_dirs(e.fp, 2));
   });
   std::cout << "2) mapping: " << f.name() << "\n";
 

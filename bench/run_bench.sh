@@ -9,6 +9,11 @@
 #   {
 #     "baseline_seed": <bench/baseline_seed.json — pre-zero-copy numbers>,
 #     "speedup_vs_seed": <BM_ReadTraceMixed/131072 bytes/s over baseline>,
+#     "event_log_speedup_vs_copying": <arena-interned event construction
+#         over the PR 1 per-event string copies, 131072-line corpus>,
+#     "mixed_vs_best_either_or": <mixed (file, chunk) work-queue ingest
+#         over the better of PR 1's per-file-only / intra-file-only
+#         paths on a 1-big+8-small file set>,
 #     "current": <google-benchmark JSON of bench_parse>
 #   }
 set -euo pipefail
@@ -27,7 +32,7 @@ trap 'rm -f "$parse_raw"' EXIT
 
 "$build_dir/bench/bench_parse" \
   --benchmark_format=json \
-  --benchmark_min_time=0.2 \
+  --benchmark_min_time=0.5 \
   >"$parse_raw"
 
 "$build_dir/bench/bench_pipeline" \
@@ -42,17 +47,42 @@ import sys
 current = json.load(open(sys.argv[1]))
 baseline = json.load(open(sys.argv[2]))
 
+def metric(name, key):
+    for bench in current.get("benchmarks", []):
+        if bench.get("name") == name and key in bench:
+            return bench[key]
+    return None
+
 speedup = None
 base_bps = baseline["corpus"]["bytes"] / baseline["sequential_read"]["best_seconds"]
-for bench in current.get("benchmarks", []):
-    if bench.get("name") == "BM_ReadTraceMixed/131072" and "bytes_per_second" in bench:
-        speedup = round(bench["bytes_per_second"] / base_bps, 2)
+mixed_bps = metric("BM_ReadTraceMixed/131072", "bytes_per_second")
+if mixed_bps is not None:
+    speedup = round(mixed_bps / base_bps, 2)
+
+# Arena-interned event construction vs the PR 1 per-event string copies.
+elog_speedup = None
+arena_ips = metric("BM_EventLogFromRecords/131072", "items_per_second")
+copy_ips = metric("BM_EventLogFromRecordsCopying/131072", "items_per_second")
+if arena_ips and copy_ips:
+    elog_speedup = round(arena_ips / copy_ips, 2)
+
+# Mixed (file, chunk) work queue vs the better PR 1 either/or path.
+mixed_vs_best = None
+mixed = metric("BM_MixedFiles_Mixed/real_time", "bytes_per_second")
+per_file = metric("BM_MixedFiles_PerFileOnly/real_time", "bytes_per_second")
+intra = metric("BM_MixedFiles_IntraFileOnly/real_time", "bytes_per_second")
+if mixed and per_file and intra:
+    mixed_vs_best = round(mixed / max(per_file, intra), 2)
 
 out = {
     "baseline_seed": baseline,
     "speedup_vs_seed": speedup,
+    "event_log_speedup_vs_copying": elog_speedup,
+    "mixed_vs_best_either_or": mixed_vs_best,
     "current": current,
 }
 json.dump(out, open(sys.argv[3], "w"), indent=1)
-print(f"wrote {sys.argv[3]} (speedup_vs_seed = {speedup}x)")
+print(f"wrote {sys.argv[3]} (speedup_vs_seed = {speedup}x, "
+      f"event_log_speedup_vs_copying = {elog_speedup}x, "
+      f"mixed_vs_best_either_or = {mixed_vs_best}x)")
 EOF

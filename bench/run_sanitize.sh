@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Sibling of run_bench.sh: builds the ASan/UBSan preset and runs the
+# whole ctest suite under it. The zero-copy ingestion architecture
+# (TraceBuffer/arena-backed string_views in RawRecord and Event) makes
+# lifetime mistakes silent in a normal build — this job turns every
+# dangling view into a hard failure.
+#
+#   bench/run_sanitize.sh [build-dir]
+#
+# Requires a compiler with -fsanitize=address,undefined (gcc/clang).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-sanitize}"
+
+cmake -S "$repo_root" -B "$build_dir" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build "$build_dir" -j "$(nproc)"
+
+# halt_on_error keeps the first report readable; detect_leaks stays on
+# deliberately — the arenas are owned, not leaked, and the suite must
+# prove it.
+ASAN_OPTIONS="halt_on_error=1" \
+UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+
+echo "sanitizer suite passed"

@@ -15,21 +15,28 @@ namespace st::bench {
 inline model::EventLog synthetic_log(std::uint64_t seed, std::size_t cases,
                                      std::size_t events_per_case, std::size_t distinct_paths) {
   Xoshiro256 rng(seed);
-  const std::vector<std::string> calls = {"read", "write", "openat", "lseek"};
-  std::vector<std::string> paths;
+  model::EventLog log;
+  // Event string fields are views; intern the distinct strings once
+  // into the log's own arena so the log is self-contained.
+  const std::vector<std::string_view> calls = {
+      log.arena().intern("read"), log.arena().intern("write"), log.arena().intern("openat"),
+      log.arena().intern("lseek")};
+  std::vector<std::string_view> paths;
   paths.reserve(distinct_paths);
   for (std::size_t i = 0; i < distinct_paths; ++i) {
-    paths.push_back("/data/dir" + std::to_string(i) + "/file" + std::to_string(i));
+    paths.push_back(
+        log.arena().intern("/data/dir" + std::to_string(i) + "/file" + std::to_string(i)));
   }
-  model::EventLog log;
+  const std::string_view cid = log.arena().intern("bench");
+  const std::string_view host = log.arena().intern("node1");
   for (std::size_t c = 0; c < cases; ++c) {
     std::vector<model::Event> events;
     events.reserve(events_per_case);
     Micros t = 0;
     for (std::size_t i = 0; i < events_per_case; ++i) {
       model::Event e;
-      e.cid = "bench";
-      e.host = "node1";
+      e.cid = cid;
+      e.host = host;
       e.rid = c + 1;
       e.pid = c + 100;
       e.call = calls[rng.below(calls.size())];

@@ -79,6 +79,7 @@ int main(int argc, char** argv) {
       const std::vector<std::string> files(args.begin() + 2, args.end());
       const auto log = model::event_log_from_files(
           files, static_cast<std::size_t>(cli.get_int("threads")));
+      for (const auto& w : log.warnings()) std::cerr << "warning: " << w << "\n";
       elog::write_event_log_file(args[1], log);
       std::cout << "imported " << files.size() << " trace files (" << log.total_events()
                 << " events) into " << args[1] << "\n";

@@ -62,11 +62,12 @@ int main(int argc, char** argv) {
     } else if (cli.positional().size() == 1 && cli.positional()[0].ends_with(".elog")) {
       log = elog::read_event_log_file(cli.positional()[0]);
     } else {
-      // Zero-copy ingestion; a single file is chunk-parallelized, a
-      // file set is parallelized across files.
+      // Zero-copy mmap ingestion with mixed per-file + intra-file
+      // parallelism on one shared pool.
       log = model::event_log_from_files(cli.positional(),
                                         static_cast<std::size_t>(cli.get_int("threads")));
     }
+    for (const auto& w : log.warnings()) std::cerr << "warning: " << w << "\n";
     if (cli.has("filter")) log = log.filter_fp(cli.get("filter"));
 
     // -- analyze -----------------------------------------------------

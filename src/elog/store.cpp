@@ -15,16 +15,27 @@ namespace {
 /// order so the pool chunk is written before the columns referencing it.
 class StringPool {
  public:
-  std::uint32_t intern(const std::string& s) {
-    const auto [it, inserted] = ids_.try_emplace(s, static_cast<std::uint32_t>(strings_.size()));
-    if (inserted) strings_.push_back(s);
-    return it->second;
+  std::uint32_t intern(std::string_view s) {
+    // Heterogeneous lookup: the per-event hot path (every call/fp of
+    // every event) must not allocate for already-interned strings.
+    const auto it = ids_.find(s);
+    if (it != ids_.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(strings_.size());
+    strings_.emplace_back(s);
+    ids_.emplace(strings_.back(), id);
+    return id;
   }
 
   [[nodiscard]] const std::vector<std::string>& strings() const { return strings_; }
 
  private:
-  std::unordered_map<std::string, std::uint32_t> ids_;
+  struct SvHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_map<std::string, std::uint32_t, SvHash, std::equal_to<>> ids_;
   std::vector<std::string> strings_;
 };
 
@@ -67,7 +78,10 @@ void write_case(std::ostream& out, const model::Case& c) {
   write_chunk(out, kTagCaseEnd, {});
 }
 
-model::Case read_case(std::istream& in, const Chunk& header) {
+/// Rebuilds one case. The events' string fields are interned into
+/// `arena` (owned by the destination EventLog), so the views stay
+/// valid for the log's lifetime.
+model::Case read_case(std::istream& in, const Chunk& header, strace::StringArena& arena) {
   PayloadReader header_reader(header.payload);
   const std::string name = header_reader.str();
   const auto id = strace::parse_trace_filename(name);
@@ -115,23 +129,30 @@ model::Case read_case(std::istream& in, const Chunk& header) {
     throw IoError("elog: column row counts disagree in case " + name);
   }
 
+  // Intern each distinct pool string once; events then share views.
+  std::vector<std::string_view> pool_views;
+  pool_views.reserve(pool.size());
+  for (const auto& s : pool) pool_views.push_back(arena.intern(s));
+  const std::string_view cid = arena.intern(id->cid);
+  const std::string_view host = arena.intern(id->host);
+
   std::vector<model::Event> events;
   events.reserve(rows);
   for (std::uint64_t i = 0; i < rows; ++i) {
     model::Event e;
-    e.cid = id->cid;
-    e.host = id->host;
+    e.cid = cid;
+    e.host = host;
     e.rid = id->rid;
     e.pid = pids[i];
-    if (calls[i] >= pool.size() || fps[i] >= pool.size()) {
+    if (calls[i] >= pool_views.size() || fps[i] >= pool_views.size()) {
       throw IoError("elog: string pool id out of range in case " + name);
     }
-    e.call = pool[calls[i]];
+    e.call = pool_views[calls[i]];
     e.start = starts[i];
     e.dur = durs[i];
-    e.fp = pool[fps[i]];
+    e.fp = pool_views[fps[i]];
     e.size = sizes[i];
-    events.push_back(std::move(e));
+    events.push_back(e);
   }
   return model::Case(model::CaseId{id->cid, id->host, id->rid}, std::move(events));
 }
@@ -171,13 +192,14 @@ model::EventLog read_event_log(std::istream& in) {
   }
 
   model::EventLog log;
+  strace::StringArena& arena = log.arena();
   for (std::uint64_t c = 0; c < case_count; ++c) {
     const Chunk header = read_chunk(in);
     if (header.tag != kTagCaseHeader) {
       throw IoError("elog: expected CHDR chunk, got " +
                     std::string(header.tag.data(), header.tag.size()));
     }
-    log.add_case(read_case(in, header));
+    log.add_case(read_case(in, header, arena));
   }
   const Chunk fin = read_chunk(in);
   if (fin.tag != kTagFileEnd) throw IoError("elog: missing FEND chunk");

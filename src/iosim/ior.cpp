@@ -46,8 +46,12 @@ int IorOptions::read_peer(int rank) const {
 
 model::EventLog TraceSet::to_event_log() const {
   model::EventLog log;
+  // The events' call/fp view into the simulator's per-process arenas;
+  // sharing them with the log decouples its lifetime from this
+  // TraceSet. cid/host intern into the log's own arena.
+  for (const auto& arena : arenas) log.adopt(arena);
   for (const RankTrace& t : traces) {
-    log.add_case(model::case_from_records(t.id, t.records));
+    log.add_case(model::case_from_records(t.id, t.records, log.arena()));
   }
   return log;
 }

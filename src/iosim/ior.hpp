@@ -93,7 +93,8 @@ struct TraceSet {
   /// records of `traces` are valid only while this TraceSet is alive.
   std::vector<std::shared_ptr<strace::StringArena>> arenas;
 
-  /// Converts to the event model (one case per rank).
+  /// Converts to the event model (one case per rank). The returned log
+  /// shares the arenas, so it remains valid after this TraceSet dies.
   [[nodiscard]] model::EventLog to_event_log() const;
 
   /// Writes cid_host_rid.st text files into `dir` (created if needed).

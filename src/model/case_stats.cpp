@@ -16,7 +16,7 @@ std::vector<CaseSummary> summarize_cases(const EventLog& log) {
     s.events = c.size();
     bool first = true;
     for (const Event& e : c.events()) {
-      ++s.calls[e.call];
+      ++s.calls[std::string(e.call)];
       if (e.has_size()) {
         if (call_in_family(e.call, "read")) s.bytes_read += e.size;
         if (call_in_family(e.call, "write")) s.bytes_written += e.size;

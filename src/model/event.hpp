@@ -5,34 +5,46 @@
 // cid/host/rid come from the trace-file name, the rest from the strace
 // record. A Case is the time-ordered event sequence of one trace file
 // (Eq. 2); the CaseId (cid, host, rid) identifies it uniquely.
+//
+// Event string fields are std::string_views, not owned strings: they
+// point into the TraceBuffer the records were parsed from, into a
+// StringArena (synthesized/interned strings), or at string literals.
+// An EventLog carries the owners of that storage as shared_ptrs (its
+// arena plus any adopted TraceBuffers), mirroring strace::ReadResult —
+// holding the log (or any log derived from it) keeps every event's
+// views alive. Events that escape every owning log are valid only as
+// long as some owner is.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 
 #include "support/timeparse.hpp"
 
 namespace st::model {
 
 struct Event {
-  std::string cid;   ///< command identifier (from the trace file name)
-  std::string host;  ///< host machine name
+  std::string_view cid;   ///< command identifier (from the trace file name)
+  std::string_view host;  ///< host machine name
   std::uint64_t rid = 0;  ///< launching (MPI) process id
   std::uint64_t pid = 0;  ///< pid executing the system call (-f)
-  std::string call;       ///< system call name
+  std::string_view call;  ///< system call name
   Micros start = 0;       ///< wall-clock start, microseconds of day (-tt)
   Micros dur = 0;         ///< duration in microseconds (-T)
-  std::string fp;         ///< accessed file path (-y)
+  std::string_view fp;    ///< accessed file path (-y)
   std::int64_t size = -1; ///< bytes transferred (return value); -1 if n/a
 
   [[nodiscard]] Micros end() const { return start + dur; }
   [[nodiscard]] bool has_size() const { return size >= 0; }
 
+  /// Content comparison (string_view == compares characters).
   [[nodiscard]] bool operator==(const Event&) const = default;
 };
 
 /// Identity of a case: one trace file == one case (paper Sec. IV).
+/// Owns its strings (cases are few; events are many).
 struct CaseId {
   std::string cid;
   std::string host;

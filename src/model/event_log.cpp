@@ -22,6 +22,14 @@ Case Case::filtered(const std::function<bool(const Event&)>& pred) const {
   return Case(id_, std::move(kept));
 }
 
+strace::StringArena& EventLog::arena() {
+  if (!arena_) {
+    arena_ = std::make_shared<strace::StringArena>();
+    owners_.push_back(arena_);
+  }
+  return *arena_;
+}
+
 std::size_t EventLog::total_events() const {
   std::size_t n = 0;
   for (const auto& c : cases_) n += c.size();
@@ -43,12 +51,14 @@ EventLog EventLog::filter_fp(std::string_view substr) const {
 
 EventLog EventLog::filter_events(const std::function<bool(const Event&)>& pred) const {
   EventLog out;
+  out.adopt_owners_of(*this);
   for (const auto& c : cases_) out.add_case(c.filtered(pred));
   return out;
 }
 
 EventLog EventLog::filter_cases(const std::function<bool(const Case&)>& pred) const {
   EventLog out;
+  out.adopt_owners_of(*this);
   for (const auto& c : cases_) {
     if (pred(c)) out.add_case(c);
   }
@@ -59,6 +69,8 @@ std::pair<EventLog, EventLog> EventLog::partition(
     const std::function<bool(const Case&)>& pred) const {
   EventLog green;
   EventLog red;
+  green.adopt_owners_of(*this);
+  red.adopt_owners_of(*this);
   for (const auto& c : cases_) {
     (pred(c) ? green : red).add_case(c);
   }
@@ -67,6 +79,8 @@ std::pair<EventLog, EventLog> EventLog::partition(
 
 EventLog EventLog::merge(const EventLog& a, const EventLog& b) {
   EventLog out;
+  out.adopt_owners_of(a);
+  out.adopt_owners_of(b);
   std::unordered_set<CaseId> seen;
   for (const auto* log : {&a, &b}) {
     for (const auto& c : log->cases()) {

@@ -7,16 +7,31 @@
 // file-path filtering (apply_fp_filter), generic event filtering,
 // case-level partitioning (PartitionEL, used by partition coloring)
 // and union (Cx = Ca ∪ Cb).
+//
+// Ownership: Event string fields are views; the log carries the
+// storage they point into — its own StringArena (arena()) plus any
+// adopted owners such as the TraceBuffers of parsed files — as
+// shared_ptrs. Every derived log (filter_*, partition, merge) shares
+// its source's owners, so holding ANY log in a derivation chain keeps
+// all of its events' views alive, exactly like strace::ReadResult.
+//
+// Ingestion problems (unparseable lines, unmatched resumed records)
+// are carried as warnings(): set by the constructing reader, ordered
+// by file then line, and deliberately NOT propagated to derived logs —
+// they describe the ingestion, not the filtered view.
 #pragma once
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "model/event.hpp"
+#include "strace/arena.hpp"
 
 namespace st::model {
 
@@ -54,6 +69,34 @@ class EventLog {
   [[nodiscard]] std::size_t total_events() const;
   [[nodiscard]] const Case* find_case(const CaseId& id) const;
 
+  // -- string ownership ------------------------------------------------
+
+  /// The arena this log's Event string fields intern into. Created on
+  /// first use and registered as an owner, so views into it survive as
+  /// long as the log or any log derived from it. NOT thread-safe:
+  /// parallel builders intern into private arenas and adopt() them.
+  [[nodiscard]] strace::StringArena& arena();
+
+  /// Registers `owner` (a TraceBuffer, a StringArena, ...) to be kept
+  /// alive as long as this log and every log derived from it.
+  void adopt(std::shared_ptr<const void> owner) { owners_.push_back(std::move(owner)); }
+
+  /// Shares all owners of `other` — every derived-log operation calls
+  /// this so views remain valid through arbitrary derivation chains.
+  void adopt_owners_of(const EventLog& other) {
+    owners_.insert(owners_.end(), other.owners_.begin(), other.owners_.end());
+  }
+
+  // -- ingestion warnings ----------------------------------------------
+
+  /// Reader warnings collected while this log was built from trace
+  /// files ("<path>: line N: ..."), ordered by file then line. Empty
+  /// for synthesized and derived logs.
+  [[nodiscard]] const std::vector<std::string>& warnings() const { return warnings_; }
+  void add_warning(std::string warning) { warnings_.push_back(std::move(warning)); }
+
+  // -- queries ----------------------------------------------------------
+
   /// Keeps only events whose file path contains `substr` (the paper's
   /// apply_fp_filter). Cases that become empty are kept (a case with no
   /// matching events contributes an empty trace).
@@ -77,6 +120,9 @@ class EventLog {
 
  private:
   std::vector<Case> cases_;
+  std::shared_ptr<strace::StringArena> arena_;       ///< lazily created; also in owners_
+  std::vector<std::shared_ptr<const void>> owners_;  ///< storage the events view into
+  std::vector<std::string> warnings_;
 };
 
 }  // namespace st::model

@@ -1,6 +1,5 @@
 #include "model/from_strace.hpp"
 
-#include "parallel/algorithms.hpp"
 #include "parallel/thread_pool.hpp"
 #include "strace/reader.hpp"
 #include "support/errors.hpp"
@@ -30,38 +29,52 @@ std::optional<Event> event_from_record(const strace::TraceFileId& id,
 }
 
 Case case_from_records(const strace::TraceFileId& id,
-                       const std::vector<strace::RawRecord>& records) {
+                       const std::vector<strace::RawRecord>& records,
+                       strace::StringArena& arena) {
+  // One interned copy of cid/host serves every event of the case — the
+  // old per-event heap strings were the model layer's dominant cost.
+  const std::string_view cid = arena.intern(id.cid);
+  const std::string_view host = arena.intern(id.host);
   std::vector<Event> events;
   events.reserve(records.size());
   for (const auto& rec : records) {
-    if (auto e = event_from_record(id, rec)) events.push_back(std::move(*e));
+    if (auto e = event_from_record(id, rec)) {
+      e->cid = cid;
+      e->host = host;
+      events.push_back(*e);
+    }
   }
   return Case(CaseId{id.cid, id.host, id.rid}, std::move(events));
 }
 
 EventLog event_log_from_files(const std::vector<std::string>& paths, std::size_t threads) {
-  // A lone file cannot be parallelized across files, so parallelize
-  // *within* it: the chunked zero-copy reader splits the buffer on
-  // line boundaries across the pool.
-  if (paths.size() == 1) {
-    const auto& path = paths.front();
-    const auto id = strace::parse_trace_filename(path);
+  // Validate every file name before any I/O: the error for a bad name
+  // is deterministic (first offender in input order) and cheap.
+  std::vector<strace::TraceFileId> ids;
+  ids.reserve(paths.size());
+  for (const auto& path : paths) {
+    auto id = strace::parse_trace_filename(path);
     if (!id) throw ParseError("trace file name does not follow cid_host_rid.st: " + path);
-    strace::ParallelReadOptions opts;
-    opts.threads = threads;
-    const auto result = strace::read_trace_file_parallel(path, opts);
-    std::vector<Case> cases;
-    cases.push_back(case_from_records(*id, result.records));
-    return EventLog(std::move(cases));
+    ids.push_back(std::move(*id));
   }
+
+  // Mixed parallelism: all (file, chunk) parse tasks share one pool,
+  // so a single huge trace and a swarm of small ones both saturate it.
   ThreadPool pool(threads);
-  auto cases = parallel_map(pool, paths, [](const std::string& path) {
-    const auto id = strace::parse_trace_filename(path);
-    if (!id) throw ParseError("trace file name does not follow cid_host_rid.st: " + path);
-    const auto result = strace::read_trace_file(path);
-    return case_from_records(*id, result.records);
-  });
-  return EventLog(std::move(cases));
+  strace::ParallelReadOptions opts;
+  opts.pool = &pool;
+  auto results = strace::read_trace_files_mixed(paths, opts);
+
+  EventLog log;
+  strace::StringArena& arena = log.arena();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    log.add_case(case_from_records(ids[i], results[i].records, arena));
+    log.adopt(std::move(results[i].buffer));
+    for (auto& warning : results[i].warnings) {
+      log.add_warning(paths[i] + ": " + std::move(warning));
+    }
+  }
+  return log;
 }
 
 }  // namespace st::model

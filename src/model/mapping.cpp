@@ -51,19 +51,20 @@ Mapping Mapping::filtered(std::string name, std::function<bool(const Event&)> pr
 Mapping Mapping::call_top_dirs(int levels) {
   return Mapping("call_top_dirs(" + std::to_string(levels) + ")",
                  [levels](const Event& e) -> std::optional<Activity> {
-                   return e.call + "\n" + top_dirs(e.fp, levels);
+                   return std::string(e.call) + "\n" + top_dirs(e.fp, levels);
                  });
 }
 
 Mapping Mapping::call_last_components(int n) {
   return Mapping("call_last_components(" + std::to_string(n) + ")",
                  [n](const Event& e) -> std::optional<Activity> {
-                   return e.call + "\n" + last_components(e.fp, n);
+                   return std::string(e.call) + "\n" + last_components(e.fp, n);
                  });
 }
 
 Mapping Mapping::call_only() {
-  return Mapping("call_only", [](const Event& e) -> std::optional<Activity> { return e.call; });
+  return Mapping("call_only",
+                 [](const Event& e) -> std::optional<Activity> { return std::string(e.call); });
 }
 
 Mapping Mapping::call_site(SitePathMap map, int extra_levels) {
@@ -89,7 +90,7 @@ Mapping Mapping::call_site(SitePathMap map, int extra_levels) {
             ++taken;
           }
         }
-        return e.call + "\n" + label;
+        return std::string(e.call) + "\n" + label;
       });
 }
 

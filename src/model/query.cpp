@@ -4,9 +4,22 @@
 
 namespace st::model {
 
-bool call_in_family(const std::string& call, const std::string& family) {
-  return call == family || call == "p" + family + "64" || call == family + "v" ||
-         call == "p" + family + "v" || call == "p" + family + "v2";
+bool call_in_family(std::string_view call, std::string_view family) {
+  if (call == family) return true;
+  // The variants: p<family>64, <family>v, p<family>v, p<family>v2.
+  const auto is_variant = [&](bool p_prefix, std::string_view suffix) {
+    const std::size_t want = (p_prefix ? 1 : 0) + family.size() + suffix.size();
+    if (call.size() != want) return false;
+    std::string_view rest = call;
+    if (p_prefix) {
+      if (rest.front() != 'p') return false;
+      rest.remove_prefix(1);
+    }
+    if (rest.substr(0, family.size()) != family) return false;
+    return rest.substr(family.size()) == suffix;
+  };
+  return is_variant(true, "64") || is_variant(false, "v") || is_variant(true, "v") ||
+         is_variant(true, "v2");
 }
 
 Query Query::fp_contains(std::string substr) const {
@@ -65,6 +78,7 @@ bool Query::matches_case(const Case& c) const {
 
 EventLog Query::apply(const EventLog& log) const {
   EventLog out;
+  out.adopt_owners_of(log);  // the view keeps the source's strings alive
   for (const Case& c : log.cases()) {
     if (!matches_case(c)) continue;
     out.add_case(c.filtered([this](const Event& e) { return matches(e); }));

@@ -17,6 +17,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "model/event_log.hpp"
@@ -66,6 +67,7 @@ class Query {
 };
 
 /// True if `call` belongs to `family` (read -> pread64/readv/...).
-[[nodiscard]] bool call_in_family(const std::string& call, const std::string& family);
+/// Allocation-free so it can sit on per-event hot paths.
+[[nodiscard]] bool call_in_family(std::string_view call, std::string_view family);
 
 }  // namespace st::model

@@ -6,6 +6,7 @@ namespace st::model {
 
 EventLog shift_host_clocks(const EventLog& log, const std::map<std::string, Micros>& offsets) {
   EventLog out;
+  out.adopt_owners_of(log);  // shifted events still view the source's storage
   for (const Case& c : log.cases()) {
     const auto it = offsets.find(c.id().host);
     const Micros offset = it == offsets.end() ? 0 : it->second;

@@ -6,10 +6,18 @@
 //    shape used for scalable DFG construction (per-case graphs merged
 //    with an abelian fold, refs [24][25] of the paper).
 //
-// All algorithms rethrow the first task exception on the calling thread.
+// Exception contract: every task is always awaited before an exception
+// propagates, and the exception rethrown on the calling thread is the
+// one from the LOWEST failing chunk (and, within a chunk, its lowest
+// failing index) — deterministic "first in input order wins"
+// regardless of how the pool schedules the tasks. Awaiting everything
+// first is also what makes early failure memory-safe: tasks capture
+// the caller's callables by reference, so no task may still be running
+// when the algorithm returns or throws.
 #pragma once
 
 #include <cstddef>
+#include <exception>
 #include <future>
 #include <vector>
 
@@ -22,6 +30,41 @@ namespace st {
   const std::size_t target = pool.size() * 4;
   return n < target ? (n == 0 ? 1 : n) : target;
 }
+
+namespace detail {
+
+/// Waits for every future, then rethrows the exception of the earliest
+/// chunk that failed (futures are in chunk order).
+template <class R>
+std::vector<R> await_all(std::vector<std::future<R>>& futures) {
+  std::vector<R> results;
+  results.reserve(futures.size());
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      results.push_back(f.get());
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+      results.emplace_back();  // placeholder keeps chunk indices aligned
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+inline void await_all(std::vector<std::future<void>>& futures) {
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace detail
 
 /// Applies body(i) for i in [begin, end) using the pool. Blocking.
 template <class Body>
@@ -40,10 +83,11 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end, Body bod
       for (std::size_t i = lo; i < hi; ++i) body(i);
     }));
   }
-  for (auto& f : futures) f.get();
+  detail::await_all(futures);
 }
 
-/// Order-preserving parallel transform: out[i] = fn(in[i]).
+/// Order-preserving parallel transform: out[i] = fn(in[i]). On failure
+/// the exception of the lowest failing input index propagates.
 template <class T, class Fn>
 auto parallel_map(ThreadPool& pool, const std::vector<T>& in, Fn fn)
     -> std::vector<decltype(fn(in.front()))> {
@@ -70,8 +114,9 @@ Acc map_reduce(ThreadPool& pool, std::size_t n, Acc identity, MapFn map, ReduceF
     const std::size_t hi = std::min(n, lo + chunk_size);
     futures.push_back(pool.submit([lo, hi, &map] { return map(lo, hi); }));
   }
+  std::vector<Acc> partials = detail::await_all(futures);
   Acc acc = std::move(identity);
-  for (auto& f : futures) acc = reduce(std::move(acc), f.get());
+  for (auto& p : partials) acc = reduce(std::move(acc), std::move(p));
   return acc;
 }
 

@@ -32,9 +32,11 @@ class StringArena {
   std::string_view concat(std::initializer_list<std::string_view> parts) {
     std::size_t total = 0;
     for (const auto& p : parts) total += p.size();
+    if (total == 0) return {};  // empty views may carry a null data()
     char* dst = allocate(total);
     char* cur = dst;
     for (const auto& p : parts) {
+      if (p.empty()) continue;
       std::memcpy(cur, p.data(), p.size());
       cur += p.size();
     }

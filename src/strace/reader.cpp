@@ -67,7 +67,7 @@ ReadResult read_trace_text(std::string_view text, const ReadOptions& opts) {
 }
 
 ReadResult read_trace_file(const std::string& path, const ReadOptions& opts) {
-  return read_trace_buffer(TraceBuffer::from_file(path), opts);
+  return read_trace_buffer(TraceBuffer::from_file_mmap(path), opts);
 }
 
 ReadResult read_trace_text_parallel(std::string_view text, const ParallelReadOptions& opts) {
@@ -75,7 +75,7 @@ ReadResult read_trace_text_parallel(std::string_view text, const ParallelReadOpt
 }
 
 ReadResult read_trace_file_parallel(const std::string& path, const ParallelReadOptions& opts) {
-  return read_trace_parallel(TraceBuffer::from_file(path), opts);
+  return read_trace_parallel(TraceBuffer::from_file_mmap(path), opts);
 }
 
 }  // namespace st::strace

@@ -17,6 +17,9 @@
 // chunks on a ThreadPool via map_reduce, and folds per-PID sharded
 // unfinished/resumed state deterministically left-to-right — records,
 // ordering and warnings are byte-identical to the sequential reader.
+// read_trace_buffers_parallel generalizes this to many buffers on one
+// shared work queue (mixed per-file + intra-file parallelism), and
+// file-based entry points mmap the trace instead of copying it.
 #pragma once
 
 #include <cstddef>
@@ -80,5 +83,23 @@ struct ParallelReadOptions : ReadOptions {
 
 [[nodiscard]] ReadResult read_trace_file_parallel(const std::string& path,
                                                   const ParallelReadOptions& opts = {});
+
+/// Mixed per-file + intra-file parallelism: every buffer is split into
+/// line chunks and ALL (buffer, chunk) parse tasks share one pool's
+/// work queue, so one huge trace plus many small ones saturates every
+/// worker — no either/or between the two parallelism axes. Results are
+/// returned in input order and each is byte-identical to
+/// read_trace_buffer on that buffer (records, order, warnings,
+/// strict-mode exception; on multiple strict failures the lowest input
+/// index wins).
+[[nodiscard]] std::vector<ReadResult> read_trace_buffers_parallel(
+    std::vector<std::shared_ptr<TraceBuffer>> buffers, const ParallelReadOptions& opts = {});
+
+/// Opens every file via TraceBuffer::from_file_mmap (so multi-GB
+/// traces never double-buffer) and parses them with
+/// read_trace_buffers_parallel. Open failures throw IoError for the
+/// first unopenable path in input order, before any parsing starts.
+[[nodiscard]] std::vector<ReadResult> read_trace_files_mixed(
+    const std::vector<std::string>& paths, const ParallelReadOptions& opts = {});
 
 }  // namespace st::strace

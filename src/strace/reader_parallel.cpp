@@ -269,37 +269,24 @@ std::vector<std::pair<std::size_t, std::size_t>> line_chunks(std::string_view te
   return out;
 }
 
-}  // namespace
+/// Chunk count for one buffer: enough to spread across the pool, never
+/// below min_chunk_bytes per chunk. A single-worker pool gets a single
+/// chunk — splitting buys nothing there and the cross-chunk fold
+/// (record moves, merger-state replay) is pure overhead.
+std::size_t chunk_target(std::string_view text, std::size_t min_chunk_bytes,
+                         std::size_t pool_size) {
+  if (pool_size <= 1) return 1;
+  const std::size_t min_chunk = std::max<std::size_t>(1, min_chunk_bytes);
+  return std::clamp<std::size_t>(text.size() / min_chunk, 1, pool_size * 4);
+}
 
-ReadResult read_trace_parallel(std::shared_ptr<TraceBuffer> buffer,
-                               const ParallelReadOptions& opts) {
+/// Turns the fully folded accumulator of one buffer into the public
+/// ReadResult: drops definitively unmatched placeholders, renders the
+/// warning strings, rethrows the strict-mode error, and hands the
+/// chunk arenas to the buffer so every view stays alive.
+ReadResult finalize_acc(Acc acc, std::shared_ptr<TraceBuffer> buffer, const ReadOptions& opts) {
   ReadResult result;
   result.buffer = std::move(buffer);
-  const std::string_view text = result.buffer->text();
-
-  std::optional<ThreadPool> local_pool;
-  ThreadPool* pool = opts.pool;
-  if (pool == nullptr) {
-    local_pool.emplace(opts.threads);
-    pool = &*local_pool;
-  }
-
-  const std::size_t min_chunk = std::max<std::size_t>(1, opts.min_chunk_bytes);
-  const std::size_t want =
-      std::clamp<std::size_t>(text.size() / min_chunk, 1, pool->size() * 4);
-  const auto chunks = line_chunks(text, want);
-
-  const ChunkReader reader{text, opts};
-  Acc acc = map_reduce(
-      *pool, chunks.size(), Acc{},
-      [&](std::size_t lo, std::size_t hi) {
-        Acc local = reader.parse_chunk(chunks[lo].first, chunks[lo].second);
-        for (std::size_t i = lo + 1; i < hi; ++i) {
-          local = reader.fold(std::move(local), reader.parse_chunk(chunks[i].first, chunks[i].second));
-        }
-        return local;
-      },
-      [&](Acc a, Acc b) { return reader.fold(std::move(a), std::move(b)); });
 
   // Placeholders that survived every fold have no unfinished part
   // anywhere to their left: definitive failures, like the sequential
@@ -352,6 +339,111 @@ ReadResult read_trace_parallel(std::shared_ptr<TraceBuffer> buffer,
   result.records = std::move(acc.records);
   for (auto& arena : acc.arenas) result.buffer->adopt(std::move(arena));
   return result;
+}
+
+}  // namespace
+
+ReadResult read_trace_parallel(std::shared_ptr<TraceBuffer> buffer,
+                               const ParallelReadOptions& opts) {
+  const std::string_view text = buffer->text();
+
+  std::optional<ThreadPool> local_pool;
+  ThreadPool* pool = opts.pool;
+  if (pool == nullptr) {
+    local_pool.emplace(opts.threads);
+    pool = &*local_pool;
+  }
+
+  const auto chunks = line_chunks(text, chunk_target(text, opts.min_chunk_bytes, pool->size()));
+
+  const ChunkReader reader{text, opts};
+  Acc acc = map_reduce(
+      *pool, chunks.size(), Acc{},
+      [&](std::size_t lo, std::size_t hi) {
+        Acc local = reader.parse_chunk(chunks[lo].first, chunks[lo].second);
+        for (std::size_t i = lo + 1; i < hi; ++i) {
+          local = reader.fold(std::move(local), reader.parse_chunk(chunks[i].first, chunks[i].second));
+        }
+        return local;
+      },
+      [&](Acc a, Acc b) { return reader.fold(std::move(a), std::move(b)); });
+
+  return finalize_acc(std::move(acc), std::move(buffer), opts);
+}
+
+std::vector<ReadResult> read_trace_buffers_parallel(
+    std::vector<std::shared_ptr<TraceBuffer>> buffers, const ParallelReadOptions& opts) {
+  std::optional<ThreadPool> local_pool;
+  ThreadPool* pool = opts.pool;
+  if (pool == nullptr) {
+    local_pool.emplace(opts.threads);
+    pool = &*local_pool;
+  }
+
+  // One work queue of (buffer, chunk) parse tasks: a multi-chunk file
+  // and a swarm of single-chunk files drain the same pool, so neither
+  // axis of parallelism starves the other.
+  struct FileWork {
+    ChunkReader reader;
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    std::vector<std::future<Acc>> futures;
+  };
+  std::vector<FileWork> work;
+  work.reserve(buffers.size());
+  for (const auto& buffer : buffers) {
+    const std::string_view text = buffer->text();
+    work.push_back(FileWork{
+        ChunkReader{text, opts},
+        line_chunks(text, chunk_target(text, opts.min_chunk_bytes, pool->size())),
+        {}});
+  }
+  for (auto& fw : work) {
+    fw.futures.reserve(fw.chunks.size());
+    for (const auto& [begin, end] : fw.chunks) {
+      fw.futures.push_back(pool->submit(
+          [&reader = fw.reader, begin = begin, end = end] { return reader.parse_chunk(begin, end); }));
+    }
+  }
+
+  // Await EVERY task before any exception may propagate (tasks
+  // reference the stack-held ChunkReaders); remember only the first
+  // failure in (file, chunk) order so propagation is deterministic.
+  std::vector<std::vector<Acc>> accs(work.size());
+  std::exception_ptr first_error;
+  for (std::size_t f = 0; f < work.size(); ++f) {
+    accs[f].reserve(work[f].futures.size());
+    for (auto& fut : work[f].futures) {
+      try {
+        accs[f].push_back(fut.get());
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+        accs[f].emplace_back();
+      }
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  // Fold + finalize in input order; finalize_acc rethrows strict-mode
+  // errors, so the lowest failing input index wins there too.
+  std::vector<ReadResult> results;
+  results.reserve(buffers.size());
+  for (std::size_t f = 0; f < work.size(); ++f) {
+    const ChunkReader& reader = work[f].reader;
+    Acc acc;
+    for (auto& chunk_acc : accs[f]) {
+      acc = reader.fold(std::move(acc), std::move(chunk_acc));
+    }
+    results.push_back(finalize_acc(std::move(acc), std::move(buffers[f]), opts));
+  }
+  return results;
+}
+
+std::vector<ReadResult> read_trace_files_mixed(const std::vector<std::string>& paths,
+                                               const ParallelReadOptions& opts) {
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  buffers.reserve(paths.size());
+  for (const auto& path : paths) buffers.push_back(TraceBuffer::from_file_mmap(path));
+  return read_trace_buffers_parallel(std::move(buffers), opts);
 }
 
 }  // namespace st::strace

@@ -1,5 +1,6 @@
 #include "strace/scan.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "support/strings.hpp"
@@ -12,7 +13,9 @@ std::optional<std::size_t> skip_quoted(std::string_view s, std::size_t start) {
   std::size_t i = start + 1;
   while (i < s.size()) {
     if (s[i] == '\\') {
-      i += 2;  // escape consumes the next char, whatever it is
+      // Escape consumes the next char; a backslash as the *last* byte
+      // of a truncated line must not step the cursor past s.size().
+      i = std::min(i + 2, s.size());
       continue;
     }
     if (s[i] == '"') return i + 1;
@@ -21,9 +24,46 @@ std::optional<std::size_t> skip_quoted(std::string_view s, std::size_t start) {
   return std::nullopt;
 }
 
+namespace {
+
+/// Per-class nesting depths for (), [] and {}. Tracking the classes
+/// separately keeps a stray ']' or '}' inside an argument (truncated
+/// structs, abbreviated arrays, binary noise) from corrupting the
+/// paren depth that find_matching_paren / split_args terminate on.
+struct BracketDepths {
+  int paren = 0;
+  int bracket = 0;
+  int brace = 0;
+
+  /// Feeds one non-quote character. Closers of an already balanced
+  /// class are ignored (clamped at zero) rather than driving a shared
+  /// counter negative.
+  void feed(char c) {
+    switch (c) {
+      case '(': ++paren; break;
+      case '[': ++bracket; break;
+      case '{': ++brace; break;
+      case ')':
+        if (paren > 0) --paren;
+        break;
+      case ']':
+        if (bracket > 0) --bracket;
+        break;
+      case '}':
+        if (brace > 0) --brace;
+        break;
+      default: break;
+    }
+  }
+
+  [[nodiscard]] bool at_top_level() const { return paren == 0 && bracket == 0 && brace == 0; }
+};
+
+}  // namespace
+
 std::optional<std::size_t> find_matching_paren(std::string_view s, std::size_t open_paren) {
   if (open_paren >= s.size() || s[open_paren] != '(') return std::nullopt;
-  int depth = 0;
+  BracketDepths depths;
   std::size_t i = open_paren;
   while (i < s.size()) {
     const char c = s[i];
@@ -33,13 +73,8 @@ std::optional<std::size_t> find_matching_paren(std::string_view s, std::size_t o
       i = *next;
       continue;
     }
-    if (c == '(' || c == '[' || c == '{') {
-      ++depth;
-    } else if (c == ')' || c == ']' || c == '}') {
-      --depth;
-      if (depth == 0 && c == ')') return i;
-      if (depth < 0) return std::nullopt;
-    }
+    if (c == ')' && depths.paren == 1) return i;  // the opener's match
+    depths.feed(c);
     ++i;
   }
   return std::nullopt;
@@ -47,7 +82,7 @@ std::optional<std::size_t> find_matching_paren(std::string_view s, std::size_t o
 
 void split_args_into(std::string_view args, std::vector<std::string_view>& out) {
   out.clear();
-  int depth = 0;
+  BracketDepths depths;
   std::size_t field_start = 0;
   std::size_t i = 0;
   while (i < args.size()) {
@@ -58,13 +93,11 @@ void split_args_into(std::string_view args, std::vector<std::string_view>& out) 
       i = *next;
       continue;
     }
-    if (c == '(' || c == '[' || c == '{') {
-      ++depth;
-    } else if (c == ')' || c == ']' || c == '}') {
-      --depth;
-    } else if (c == ',' && depth == 0) {
+    if (c == ',' && depths.at_top_level()) {
       out.push_back(trim(args.substr(field_start, i - field_start)));
       field_start = i + 1;
+    } else {
+      depths.feed(c);
     }
     ++i;
   }

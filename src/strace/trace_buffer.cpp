@@ -4,7 +4,21 @@
 
 #include "support/errors.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#define ST_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
 namespace st::strace {
+
+TraceBuffer::~TraceBuffer() {
+#ifdef ST_HAVE_MMAP
+  if (map_ != nullptr) ::munmap(map_, map_size_);
+#endif
+}
 
 std::shared_ptr<TraceBuffer> TraceBuffer::from_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
@@ -17,6 +31,38 @@ std::shared_ptr<TraceBuffer> TraceBuffer::from_file(const std::string& path) {
     throw IoError("cannot read trace file: " + path);
   }
   return std::make_shared<TraceBuffer>(std::move(text));
+}
+
+std::shared_ptr<TraceBuffer> TraceBuffer::from_file_mmap(const std::string& path) {
+#ifdef ST_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw IoError("cannot open trace file: " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    // Pipes/devices cannot be mapped or sized; the read path handles
+    // anything open() accepted, and errors consistently otherwise.
+    return from_file(path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return std::make_shared<TraceBuffer>(std::string());
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference to the file
+  if (map == MAP_FAILED) return from_file(path);
+#ifdef MADV_SEQUENTIAL
+  ::madvise(map, size, MADV_SEQUENTIAL);  // parse is one forward pass
+#endif
+  auto buffer = std::make_shared<TraceBuffer>();
+  buffer->map_ = map;
+  buffer->map_size_ = size;
+  buffer->view_ = std::string_view(static_cast<const char*>(map), size);
+  return buffer;
+#else
+  return from_file(path);
+#endif
 }
 
 }  // namespace st::strace

@@ -35,7 +35,8 @@ TEST(Commands, EventCountsMatchFig2) {
 }
 
 TEST(Commands, PidDiffersFromRid) {
-  const auto* c = ca().find_case(model::CaseId{"a", "host1", 9042});
+  const auto log = ca();  // find_case returns a pointer into this log
+  const auto* c = log.find_case(model::CaseId{"a", "host1", 9042});
   ASSERT_NE(c, nullptr);
   EXPECT_EQ(c->events().front().pid, 9054u);  // the forked child of Fig. 2a
 }

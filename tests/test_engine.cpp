@@ -10,16 +10,29 @@
 namespace st::iosim {
 namespace {
 
+/// One process's records plus the arena their string fields view into
+/// (the records are valid only while the arena lives). Iterable so the
+/// assertions below can treat it like the record vector.
+struct SingleRun {
+  std::vector<strace::RawRecord> records;
+  std::shared_ptr<strace::StringArena> arena;
+
+  [[nodiscard]] std::size_t size() const { return records.size(); }
+  [[nodiscard]] const strace::RawRecord& operator[](std::size_t i) const { return records[i]; }
+  [[nodiscard]] auto begin() const { return records.begin(); }
+  [[nodiscard]] auto end() const { return records.end(); }
+};
+
 /// Runs `body` as a single simulated process and returns its records.
 template <class Body>
-std::vector<strace::RawRecord> run_single(Body body, CostModel model = {}) {
+SingleRun run_single(Body body, CostModel model = {}) {
   des::Simulator sim;
   model.jitter_sigma = 0.0;  // exact service times for assertions
   IoSystem io(sim, model, 1);
   ProcessContext proc(100, 0);
   sim.spawn(body(io, proc));
   sim.run();
-  return proc.records();
+  return {proc.take_records(), proc.share_arena()};
 }
 
 TEST(Engine, OpenWriteCloseSequence) {
@@ -46,7 +59,8 @@ TEST(Engine, RecordsRoundTripThroughStraceParser) {
     co_await io.sys_close(proc, fd);
   });
   for (const auto& rec : records) {
-    const auto reparsed = strace::parse_line(strace::format_record(rec));
+    const std::string line = strace::format_record(rec);  // must outlive the parsed views
+    const auto reparsed = strace::parse_line(line);
     ASSERT_TRUE(reparsed) << rec.call;
     EXPECT_EQ(reparsed->call, rec.call);
     EXPECT_EQ(reparsed->pid, rec.pid);
@@ -322,7 +336,8 @@ TEST(Engine, StatAndUnlinkRoundTripThroughParser) {
     co_await io.sys_unlink(proc, "/p/scratch/ssf/test");
   });
   for (const auto& rec : records) {
-    const auto reparsed = strace::parse_line(strace::format_record(rec));
+    const std::string line = strace::format_record(rec);  // must outlive the parsed views
+    const auto reparsed = strace::parse_line(line);
     ASSERT_TRUE(reparsed) << rec.call;
     EXPECT_EQ(reparsed->call, rec.call);
     EXPECT_EQ(reparsed->path, rec.path) << rec.call;

@@ -57,7 +57,7 @@ TEST(Mapping, DefaultConstructedIsInvalid) {
 TEST(Mapping, CustomMapping) {
   const auto f = Mapping::custom("sized", [](const Event& e) -> std::optional<Activity> {
     if (!e.has_size()) return std::nullopt;
-    return e.call + ":" + std::to_string(e.size);
+    return std::string(e.call) + ":" + std::to_string(e.size);
   });
   EXPECT_EQ(*f(ev("read", "/x", 0, 1, 832)), "read:832");
   EXPECT_FALSE(f(ev("lseek", "/x", 0, 1, -1)));

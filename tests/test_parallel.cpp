@@ -84,6 +84,66 @@ TEST(ParallelFor, PropagatesBodyException) {
       std::runtime_error);
 }
 
+TEST(ParallelFor, ExceptionIsEarliestFailingIndexDeterministically) {
+  // Many indices fail; the one that propagates must always be the
+  // lowest, no matter how the pool schedules the chunks.
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::string what;
+    try {
+      parallel_for(pool, 0, 400, [](std::size_t i) {
+        if (i % 7 == 3) throw std::runtime_error("failed at " + std::to_string(i));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      what = e.what();
+    }
+    EXPECT_EQ(what, "failed at 3") << "round " << round;
+  }
+}
+
+TEST(ParallelFor, AllTasksFinishBeforeThrow) {
+  // An early failure must not leave tasks running against the caller's
+  // (about to be destroyed) stack state: every index outside the
+  // failing chunk is still visited exactly once.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(512);
+  try {
+    parallel_for(pool, 0, hits.size(), [&](std::size_t i) {
+      if (i == 0) throw std::runtime_error("first chunk fails");
+      hits[i].fetch_add(1);
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error&) {
+  }
+  for (std::size_t i = 1; i < hits.size(); ++i) {
+    // Indices in the failing chunk after the throw are skipped; all
+    // other chunks ran to completion.
+    EXPECT_LE(hits[i].load(), 1);
+  }
+  int total = 0;
+  for (const auto& h : hits) total += h.load();
+  EXPECT_GE(total, static_cast<int>(hits.size()) - static_cast<int>(hits.size() / pool.size()));
+}
+
+TEST(ParallelMap, ExceptionIsFirstInputInOrder) {
+  ThreadPool pool(3);
+  std::vector<int> in(300);
+  std::iota(in.begin(), in.end(), 0);
+  for (int round = 0; round < 10; ++round) {
+    std::string what;
+    try {
+      (void)parallel_map(pool, in, [](int v) -> int {
+        if (v >= 100) throw std::runtime_error("bad input " + std::to_string(v));
+        return v;
+      });
+    } catch (const std::runtime_error& e) {
+      what = e.what();
+    }
+    EXPECT_EQ(what, "bad input 100") << "round " << round;
+  }
+}
+
 TEST(ParallelMap, PreservesOrder) {
   ThreadPool pool(4);
   std::vector<int> in(257);

@@ -83,7 +83,7 @@ model::EventLog random_event_log(Xoshiro256& rng, std::size_t max_cases) {
       auto e = testing::ev("", "", 0, 0);
       static const char* kCalls[] = {"read", "write", "openat", "lseek"};
       e.call = kCalls[rng.below(4)];
-      e.fp = random_path(rng);
+      e.fp = testing::intern(random_path(rng));
       e.start = t;
       e.dur = static_cast<Micros>(rng.below(300));
       e.size = rng.below(4) == 0 ? -1 : static_cast<std::int64_t>(rng.below(1 << 20));

@@ -24,6 +24,13 @@ TEST(SkipQuoted, UnterminatedIsNull) { EXPECT_FALSE(skip_quoted("\"abc", 0)); }
 
 TEST(SkipQuoted, NotAQuoteIsNull) { EXPECT_FALSE(skip_quoted("abc", 0)); }
 
+TEST(SkipQuoted, TruncatedEscapeAtEndIsNull) {
+  // A trailing backslash used to step the cursor past s.size(); it must
+  // clamp and report the string as unterminated.
+  EXPECT_FALSE(skip_quoted("\"abc\\", 0));
+  EXPECT_FALSE(skip_quoted("\"\\", 0));
+}
+
 TEST(FindMatchingParen, Simple) {
   const std::string_view s = "read(3, buf, 10) = 10";
   EXPECT_EQ(find_matching_paren(s, 4), 15u);
@@ -47,6 +54,26 @@ TEST(FindMatchingParen, WrongStartIsNull) {
   EXPECT_FALSE(find_matching_paren("call(abc)", 0));
 }
 
+TEST(FindMatchingParen, StrayBracketInsideArgsIgnored) {
+  // A stray ']' used to decrement a depth counter shared across all
+  // bracket classes, hitting zero early so the real ')' was never
+  // found. Bracket classes now track independently.
+  const std::string_view s = "call(a], b) = 0";
+  EXPECT_EQ(find_matching_paren(s, 4), 10u);
+}
+
+TEST(FindMatchingParen, StrayBraceInsideArgsIgnored) {
+  const std::string_view s = "call(a}b) = -1";
+  EXPECT_EQ(find_matching_paren(s, 4), 8u);
+}
+
+TEST(FindMatchingParen, MismatchedPairInsideArgs) {
+  // Truncated struct notation: "{...]" — neither closer terminates the
+  // call's parentheses.
+  const std::string_view s = "call({st_mode=S_IFREG], 3) = 0";
+  EXPECT_EQ(find_matching_paren(s, 4), 25u);
+}
+
 TEST(SplitArgs, TopLevelCommasOnly) {
   const auto args = split_args("3</p>, \"a,b\", 832");
   ASSERT_EQ(args.size(), 3u);
@@ -62,6 +89,21 @@ TEST(SplitArgs, NestedBracesDoNotSplit) {
 }
 
 TEST(SplitArgs, EmptyGivesNothing) { EXPECT_TRUE(split_args("").empty()); }
+
+TEST(SplitArgs, StrayCloserDoesNotSwallowLaterCommas) {
+  // With a shared depth counter the stray ']' pushed the depth to -1
+  // and the later top-level comma was never a split point.
+  const auto args = split_args("a], b");
+  ASSERT_EQ(args.size(), 2u);
+  EXPECT_EQ(args[0], "a]");
+  EXPECT_EQ(args[1], "b");
+}
+
+TEST(SplitArgs, TruncatedEscapeTailKeptAsOneField) {
+  const auto args = split_args("3</p>, \"x\\");
+  ASSERT_EQ(args.size(), 2u);
+  EXPECT_EQ(args[1], "\"x\\");
+}
 
 TEST(SplitArgs, SingleArg) {
   const auto args = split_args("AT_FDCWD");

@@ -1,23 +1,40 @@
 // Shared helpers for building small synthetic event logs in tests.
+//
+// Event string fields are std::string_views; hand-built test events
+// intern their strings into a process-lifetime arena (test_arena), so
+// the views outlive every log a test can construct and no test needs
+// to thread ownership around.
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "model/event_log.hpp"
+#include "strace/arena.hpp"
 
 namespace st::testing {
 
+/// Process-lifetime arena backing the string fields of hand-built test
+/// events. Never freed (tests exit anyway); single-threaded use only.
+inline strace::StringArena& test_arena() {
+  static strace::StringArena arena;
+  return arena;
+}
+
+/// Interns `s` for the remaining lifetime of the test process.
+inline std::string_view intern(std::string_view s) { return test_arena().intern(s); }
+
 /// Compact event builder: ev("read", "/usr/lib/x/y.so", start, dur, size).
-inline model::Event ev(std::string call, std::string fp, Micros start, Micros dur,
+inline model::Event ev(std::string_view call, std::string_view fp, Micros start, Micros dur,
                        std::int64_t size = -1) {
   model::Event e;
   e.cid = "t";
   e.host = "host1";
   e.rid = 1;
   e.pid = 100;
-  e.call = std::move(call);
-  e.fp = std::move(fp);
+  e.call = intern(call);
+  e.fp = intern(fp);
   e.start = start;
   e.dur = dur;
   e.size = size;
@@ -26,9 +43,11 @@ inline model::Event ev(std::string call, std::string fp, Micros start, Micros du
 
 inline model::Case make_case(std::string cid, std::uint64_t rid, std::vector<model::Event> events,
                              std::string host = "host1") {
+  const std::string_view cid_view = intern(cid);
+  const std::string_view host_view = intern(host);
   for (auto& e : events) {
-    e.cid = cid;
-    e.host = host;
+    e.cid = cid_view;
+    e.host = host_view;
     e.rid = rid;
     e.pid = rid + 12;
   }
