@@ -16,10 +16,13 @@
 #include <fstream>
 
 #include "model/from_strace.hpp"
+#include "model/query.hpp"
 #include "parallel/algorithms.hpp"
 #include "parallel/thread_pool.hpp"
 #include "strace/parser.hpp"
 #include "strace/reader.hpp"
+#include "strace/scan.hpp"
+#include "strace/scan_kernels.hpp"
 #include "strace/writer.hpp"
 
 namespace {
@@ -161,6 +164,86 @@ void BM_ReadTraceParallelMixed(benchmark::State& state) {
 }
 BENCHMARK(BM_ReadTraceParallelMixed)->Range(1 << 14, 1 << 17);
 
+// ---- scan kernels ------------------------------------------------------
+
+/// The structural scan work of one pass over the corpus: split lines,
+/// locate the call's argument list, match its parentheses and split
+/// the arguments — exactly what the reader + parser ask of the scan
+/// layer, without record assembly. `scalar` selects the pre-kernel
+/// reference loops; otherwise the active kernel mode runs.
+std::size_t scan_corpus(std::string_view text, bool scalar,
+                        std::vector<std::string_view>& argv) {
+  namespace kn = strace::kernels;
+  std::size_t fields = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = scalar ? kn::find_byte_scalar(text, start, '\n')
+                                  : kn::find_byte(text, start, '\n');
+    const std::size_t stop = nl == kn::npos ? text.size() : nl;
+    const std::string_view line = text.substr(start, stop - start);
+    const std::size_t open =
+        scalar ? kn::find_byte_scalar(line, 0, '(') : kn::find_byte(line, 0, '(');
+    if (open != kn::npos) {
+      const auto close = scalar ? strace::find_matching_paren_scalar(line, open)
+                                : strace::find_matching_paren(line, open);
+      if (close) {
+        const std::string_view args = line.substr(open + 1, *close - open - 1);
+        if (scalar) {
+          strace::split_args_into_scalar(args, argv);
+        } else {
+          strace::split_args_into(args, argv);
+        }
+        fields += argv.size();
+      }
+    }
+    if (nl == kn::npos) break;
+    start = nl + 1;
+  }
+  return fields;
+}
+
+/// Acceptance metric of the kernel PR: bytes/s of the kernel-backed
+/// scan over the scalar reference (scan_kernel_speedup_vs_scalar in
+/// BENCH_parse.json must be >= 1.3x).
+void BM_ScanKernel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::string text = make_mixed_trace(n);
+  strace::kernels::set_scan_kernel_mode(strace::kernels::ScanKernelMode::Simd);
+  std::vector<std::string_view> argv;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scan_corpus(text, /*scalar=*/false, argv));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(text.size()));
+  state.SetLabel(std::string(strace::kernels::scan_kernel_backend()));
+}
+BENCHMARK(BM_ScanKernel)->Arg(1 << 17);
+
+void BM_ScanScalar(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::string text = make_mixed_trace(n);
+  std::vector<std::string_view> argv;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scan_corpus(text, /*scalar=*/true, argv));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_ScanScalar)->Arg(1 << 17);
+
+/// The portable SWAR word path, pinned regardless of compiled-in SIMD,
+/// so the trajectory records what non-x86/ARM targets would see.
+void BM_ScanSwar(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::string text = make_mixed_trace(n);
+  strace::kernels::set_scan_kernel_mode(strace::kernels::ScanKernelMode::Swar);
+  std::vector<std::string_view> argv;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scan_corpus(text, /*scalar=*/false, argv));
+  }
+  strace::kernels::set_scan_kernel_mode(strace::kernels::ScanKernelMode::Simd);
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_ScanSwar)->Arg(1 << 17);
+
 // ---- event-log construction (model layer) ------------------------------
 
 /// Acceptance metric of the arena-interning PR: converting parsed
@@ -219,6 +302,102 @@ void BM_EventLogFromRecordsCopying(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(parsed.records.size()));
 }
 BENCHMARK(BM_EventLogFromRecordsCopying)->Range(1 << 14, 1 << 17);
+
+/// Shared parsed corpus for the conversion / query scaling benches:
+/// 8 files' worth of records, parsed once.
+class ConvertCorpus {
+ public:
+  static const ConvertCorpus& instance() {
+    static ConvertCorpus corpus;
+    return corpus;
+  }
+
+  std::vector<strace::TraceFileId> ids;
+  std::vector<strace::ReadResult> parsed;
+  std::int64_t total_records = 0;
+
+  ConvertCorpus(const ConvertCorpus&) = delete;
+  ConvertCorpus& operator=(const ConvertCorpus&) = delete;
+
+ private:
+  ConvertCorpus() {
+    for (int f = 0; f < 8; ++f) {
+      ids.push_back(strace::TraceFileId{"bench", "node" + std::to_string(f % 2 + 1),
+                                        static_cast<std::uint64_t>(9000 + f)});
+      parsed.push_back(strace::read_trace_text(make_mixed_trace(1 << 14)));
+      total_records += static_cast<std::int64_t>(parsed.back().records.size());
+    }
+  }
+};
+
+/// Multi-thread scaling of the record -> Case conversion step of
+/// event_log_from_files (convert_parallel_speedup in BENCH_parse.json:
+/// best multi-worker items/s over the 1-worker point).
+void BM_ConvertCasesParallel(benchmark::State& state) {
+  const auto& corpus = ConvertCorpus::instance();
+  const std::size_t n = corpus.parsed.size();
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<model::Case> cases(n);
+    std::vector<std::shared_ptr<strace::StringArena>> arenas(n);
+    parallel_for(pool, 0, n, [&](std::size_t i) {
+      auto arena = std::make_shared<strace::StringArena>();
+      cases[i] = model::case_from_records(corpus.ids[i], corpus.parsed[i].records, *arena);
+      arenas[i] = std::move(arena);
+    });
+    benchmark::DoNotOptimize(cases);
+    benchmark::DoNotOptimize(arenas);
+  }
+  state.SetItemsProcessed(state.iterations() * corpus.total_records);
+}
+BENCHMARK(BM_ConvertCasesParallel)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+/// Process-lifetime EventLog over the ConvertCorpus, shared by the
+/// query benchmarks (leaked deliberately: its arena backs the views).
+const model::EventLog& query_bench_log() {
+  static const model::EventLog* log = [] {
+    const auto& corpus = ConvertCorpus::instance();
+    auto* l = new model::EventLog();
+    for (std::size_t i = 0; i < corpus.parsed.size(); ++i) {
+      l->add_case(
+          model::case_from_records(corpus.ids[i], corpus.parsed[i].records, l->arena()));
+      l->adopt(corpus.parsed[i].buffer);
+    }
+    return l;
+  }();
+  return *log;
+}
+
+model::Query query_bench_query() {
+  return model::Query().calls({"read", "write", "openat"}).fp_contains("/p");
+}
+
+/// Multi-thread scaling of Query::apply (query_parallel_speedup in
+/// BENCH_parse.json). The query exercises both precompiled call-family
+/// matching and path-substring filtering over every event.
+void BM_QueryApplyParallel(benchmark::State& state) {
+  const model::EventLog& log = query_bench_log();
+  const auto q = query_bench_query();
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.apply(log, pool));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(log.total_events()));
+}
+BENCHMARK(BM_QueryApplyParallel)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+/// Serial apply() for reference (no pool in the loop).
+void BM_QueryApplySerial(benchmark::State& state) {
+  const model::EventLog& log = query_bench_log();
+  const auto q = query_bench_query();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.apply(log));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(log.total_events()));
+}
+BENCHMARK(BM_QueryApplySerial);
 
 // ---- mixed per-file + intra-file parallelism ---------------------------
 

@@ -5,6 +5,11 @@
 #
 #   bench/run_bench.sh [build-dir] [out-dir]
 #
+# With no build-dir argument the release-native preset is configured
+# and built (build-native/, -march=native) so the scan kernels run with
+# the widest vector ISA of the machine; an explicit build-dir is used
+# as-is and must already contain bench_parse.
+#
 # BENCH_parse.json layout:
 #   {
 #     "baseline_seed": <bench/baseline_seed.json — pre-zero-copy numbers>,
@@ -14,16 +19,33 @@
 #     "mixed_vs_best_either_or": <mixed (file, chunk) work-queue ingest
 #         over the better of PR 1's per-file-only / intra-file-only
 #         paths on a 1-big+8-small file set>,
+#     "scan_kernel_speedup_vs_scalar": <SWAR/SIMD structural scan over
+#         the scalar reference loops, 131072-line corpus>,
+#     "convert_scaling" / "query_scaling": <items/s at 1/2/4 workers>,
+#     "convert_parallel_speedup": <best multi-worker conversion point
+#         over the 1-worker point>,
+#     "query_parallel_speedup": <best multi-worker Query::apply point
+#         over the 1-worker point>,
 #     "current": <google-benchmark JSON of bench_parse>
 #   }
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo_root/build}"
+build_dir="${1:-}"
 out_dir="${2:-$repo_root}"
 
+if [[ -z "$build_dir" ]]; then
+  build_dir="$repo_root/build-native"
+  if [[ ! -x "$build_dir/bench/bench_parse" ]]; then
+    # --preset resolves relative to the working directory, so build
+    # from the repo root regardless of where the script was invoked.
+    (cd "$repo_root" && cmake --preset release-native &&
+     cmake --build --preset release-native -j "$(nproc)")
+  fi
+fi
+
 if [[ ! -x "$build_dir/bench/bench_parse" ]]; then
-  echo "bench_parse not built; run: cmake -B '$build_dir' -S '$repo_root' && cmake --build '$build_dir' -j" >&2
+  echo "bench_parse not built; run: cmake --preset release-native && cmake --build --preset release-native -j" >&2
   exit 1
 fi
 
@@ -53,6 +75,11 @@ def metric(name, key):
             return bench[key]
     return None
 
+def ratio(num, den):
+    if num is None or den is None or den == 0:
+        return None
+    return round(num / den, 2)
+
 speedup = None
 base_bps = baseline["corpus"]["bytes"] / baseline["sequential_read"]["best_seconds"]
 mixed_bps = metric("BM_ReadTraceMixed/131072", "bytes_per_second")
@@ -60,29 +87,64 @@ if mixed_bps is not None:
     speedup = round(mixed_bps / base_bps, 2)
 
 # Arena-interned event construction vs the PR 1 per-event string copies.
-elog_speedup = None
-arena_ips = metric("BM_EventLogFromRecords/131072", "items_per_second")
-copy_ips = metric("BM_EventLogFromRecordsCopying/131072", "items_per_second")
-if arena_ips and copy_ips:
-    elog_speedup = round(arena_ips / copy_ips, 2)
+elog_speedup = ratio(metric("BM_EventLogFromRecords/131072", "items_per_second"),
+                     metric("BM_EventLogFromRecordsCopying/131072", "items_per_second"))
 
 # Mixed (file, chunk) work queue vs the better PR 1 either/or path.
-mixed_vs_best = None
 mixed = metric("BM_MixedFiles_Mixed/real_time", "bytes_per_second")
 per_file = metric("BM_MixedFiles_PerFileOnly/real_time", "bytes_per_second")
 intra = metric("BM_MixedFiles_IntraFileOnly/real_time", "bytes_per_second")
+mixed_vs_best = None
 if mixed and per_file and intra:
     mixed_vs_best = round(mixed / max(per_file, intra), 2)
+
+# SWAR/SIMD scan kernels vs the scalar reference loops (this PR's
+# acceptance metric: >= 1.3x).
+scan_speedup = ratio(metric("BM_ScanKernel/131072", "bytes_per_second"),
+                     metric("BM_ScanScalar/131072", "bytes_per_second"))
+swar_speedup = ratio(metric("BM_ScanSwar/131072", "bytes_per_second"),
+                     metric("BM_ScanScalar/131072", "bytes_per_second"))
+
+# Multi-thread scaling points (1/2/4 workers). On a 1-CPU host the
+# multi-worker points record contention, not speedup — the scaling
+# dict keeps the raw numbers either way.
+def scaling(prefix):
+    points = {}
+    for w in (1, 2, 4):
+        ips = metric(f"{prefix}/{w}/real_time", "items_per_second")
+        if ips is not None:
+            points[str(w)] = round(ips)
+    return points
+
+convert_scaling = scaling("BM_ConvertCasesParallel")
+query_scaling = scaling("BM_QueryApplyParallel")
+
+def parallel_speedup(points):
+    if "1" not in points:
+        return None
+    multi = [v for k, v in points.items() if k != "1"]
+    if not multi:
+        return None
+    return round(max(multi) / points["1"], 2)
 
 out = {
     "baseline_seed": baseline,
     "speedup_vs_seed": speedup,
     "event_log_speedup_vs_copying": elog_speedup,
     "mixed_vs_best_either_or": mixed_vs_best,
+    "scan_kernel_speedup_vs_scalar": scan_speedup,
+    "scan_swar_speedup_vs_scalar": swar_speedup,
+    "convert_scaling": convert_scaling,
+    "convert_parallel_speedup": parallel_speedup(convert_scaling),
+    "query_scaling": query_scaling,
+    "query_parallel_speedup": parallel_speedup(query_scaling),
     "current": current,
 }
 json.dump(out, open(sys.argv[3], "w"), indent=1)
-print(f"wrote {sys.argv[3]} (speedup_vs_seed = {speedup}x, "
-      f"event_log_speedup_vs_copying = {elog_speedup}x, "
-      f"mixed_vs_best_either_or = {mixed_vs_best}x)")
+print(f"wrote {sys.argv[3]} (speedup_vs_seed = {out['speedup_vs_seed']}x, "
+      f"event_log_speedup_vs_copying = {out['event_log_speedup_vs_copying']}x, "
+      f"mixed_vs_best_either_or = {out['mixed_vs_best_either_or']}x, "
+      f"scan_kernel_speedup_vs_scalar = {out['scan_kernel_speedup_vs_scalar']}x, "
+      f"convert_parallel_speedup = {out['convert_parallel_speedup']}x, "
+      f"query_parallel_speedup = {out['query_parallel_speedup']}x)")
 EOF

@@ -5,19 +5,39 @@
 # lifetime mistakes silent in a normal build — this job turns every
 # dangling view into a hard failure.
 #
-#   bench/run_sanitize.sh [build-dir]
+#   bench/run_sanitize.sh [--kernels-scalar] [build-dir]
+#
+# --kernels-scalar forces the scan layer onto the scalar fallback
+# (ST_SCAN_KERNELS=scalar) for the whole suite, so the reference loops
+# get the same sanitized coverage as the SWAR/SIMD kernels that
+# normally run.
 #
 # Requires a compiler with -fsanitize=address,undefined (gcc/clang).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo_root/build-sanitize}"
+
+kernels_scalar=0
+build_dir=""
+for arg in "$@"; do
+  case "$arg" in
+    --kernels-scalar) kernels_scalar=1 ;;
+    --*) echo "unknown option: $arg" >&2; exit 2 ;;
+    *) build_dir="$arg" ;;
+  esac
+done
+build_dir="${build_dir:-$repo_root/build-sanitize}"
 
 cmake -S "$repo_root" -B "$build_dir" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build "$build_dir" -j "$(nproc)"
+
+if [[ "$kernels_scalar" -eq 1 ]]; then
+  export ST_SCAN_KERNELS=scalar
+  echo "scan kernels forced to scalar fallback (ST_SCAN_KERNELS=scalar)"
+fi
 
 # halt_on_error keeps the first report readable; detect_leaks stays on
 # deliberately — the arenas are owned, not leaked, and the suite must
@@ -26,4 +46,8 @@ ASAN_OPTIONS="halt_on_error=1" \
 UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 
-echo "sanitizer suite passed"
+if [[ "$kernels_scalar" -eq 1 ]]; then
+  echo "sanitizer suite passed (scalar kernels)"
+else
+  echo "sanitizer suite passed"
+fi

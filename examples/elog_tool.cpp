@@ -5,6 +5,8 @@
 //   ./elog_tool filter out.elog in.elog --fp /p/scratch --calls read,write
 //   ./elog_tool export in.elog --map site1         # stats CSV to stdout
 //   ./elog_tool import out.elog a_host1_9042.st... # strace -> elog
+#include <algorithm>
+#include <cstdint>
 #include <iostream>
 
 #include "dfg/export.hpp"
@@ -13,11 +15,18 @@
 #include "model/case_stats.hpp"
 #include "model/from_strace.hpp"
 #include "model/query.hpp"
+#include "parallel/thread_pool.hpp"
 #include "support/cli.hpp"
 #include "support/errors.hpp"
 #include "support/strings.hpp"
 
 namespace {
+
+/// --threads as a worker count: negative values would wrap through the
+/// size_t cast into a SIZE_MAX-worker pool; clamp them to 0 (hardware).
+std::size_t thread_count(const st::CliParser& cli) {
+  return static_cast<std::size_t>(std::max<std::int64_t>(0, cli.get_int("threads")));
+}
 
 st::model::Mapping mapping_for(const std::string& name) {
   using st::model::Mapping;
@@ -68,7 +77,8 @@ int main(int argc, char** argv) {
         for (const auto part : split(cli.get("calls"), ',')) families.emplace_back(part);
         query = query.calls(std::move(families));
       }
-      const auto filtered = query.apply(elog::read_event_log_file(args[2]));
+      ThreadPool pool(thread_count(cli));
+      const auto filtered = query.apply(elog::read_event_log_file(args[2]), pool);
       elog::write_event_log_file(args[1], filtered);
       std::cout << "query [" << query.describe() << "] kept " << filtered.total_events()
                 << " events; wrote " << args[1] << "\n";
@@ -77,8 +87,7 @@ int main(int argc, char** argv) {
       // ingestion pipeline (cid_host_rid.st naming required).
       if (args.size() < 3) throw ParseError("import takes an output and >= 1 trace files");
       const std::vector<std::string> files(args.begin() + 2, args.end());
-      const auto log = model::event_log_from_files(
-          files, static_cast<std::size_t>(cli.get_int("threads")));
+      const auto log = model::event_log_from_files(files, thread_count(cli));
       for (const auto& w : log.warnings()) std::cerr << "warning: " << w << "\n";
       elog::write_event_log_file(args[1], log);
       std::cout << "imported " << files.size() << " trace files (" << log.total_events()

@@ -9,6 +9,8 @@
 //
 // With no positional arguments it demos on the built-in ls / ls -l
 // traces of Fig. 2.
+#include <algorithm>
+#include <cstdint>
 #include <iostream>
 
 #include "dfg/builder.hpp"
@@ -18,12 +20,19 @@
 #include "iosim/commands.hpp"
 #include "model/case_stats.hpp"
 #include "model/from_strace.hpp"
+#include "parallel/thread_pool.hpp"
 #include "report/report.hpp"
 #include "support/cli.hpp"
 #include "support/errors.hpp"
 #include "support/strings.hpp"
 
 namespace {
+
+/// --threads as a worker count: negative values would wrap through the
+/// size_t cast into a SIZE_MAX-worker pool; clamp them to 0 (hardware).
+std::size_t thread_count(const st::CliParser& cli) {
+  return static_cast<std::size_t>(std::max<std::int64_t>(0, cli.get_int("threads")));
+}
 
 st::model::Mapping make_mapping(const std::string& name) {
   using st::model::Mapping;
@@ -64,8 +73,7 @@ int main(int argc, char** argv) {
     } else {
       // Zero-copy mmap ingestion with mixed per-file + intra-file
       // parallelism on one shared pool.
-      log = model::event_log_from_files(cli.positional(),
-                                        static_cast<std::size_t>(cli.get_int("threads")));
+      log = model::event_log_from_files(cli.positional(), thread_count(cli));
     }
     for (const auto& w : log.warnings()) std::cerr << "warning: " << w << "\n";
     if (cli.has("filter")) log = log.filter_fp(cli.get("filter"));
@@ -100,7 +108,8 @@ int main(int argc, char** argv) {
                                 ", mapping: " + f.name();
       std::cout << report::build_report(log, f, &styler, report_opts);
     } else if (render == "summary") {
-      std::cout << model::render_case_summaries(model::summarize_cases(log));
+      ThreadPool pool(thread_count(cli));
+      std::cout << model::render_case_summaries(model::summarize_cases(log, pool));
     } else if (render == "ascii") {
       std::cout << dfg::render_ascii(g, &stats, &styler, opts);
     } else if (render == "variants") {

@@ -3,35 +3,46 @@
 #include <algorithm>
 
 #include "model/query.hpp"
+#include "parallel/algorithms.hpp"
+#include "parallel/thread_pool.hpp"
 #include "support/si.hpp"
 
 namespace st::model {
 
+CaseSummary summarize_case(const Case& c) {
+  CaseSummary s;
+  s.id = c.id();
+  s.events = c.size();
+  bool first = true;
+  for (const Event& e : c.events()) {
+    ++s.calls[std::string(e.call)];
+    if (e.has_size()) {
+      if (call_in_family(e.call, "read")) s.bytes_read += e.size;
+      if (call_in_family(e.call, "write")) s.bytes_written += e.size;
+    }
+    s.total_dur += e.dur;
+    if (first || e.start < s.first_start) s.first_start = e.start;
+    s.last_end = std::max(s.last_end, e.end());
+    first = false;
+  }
+  if (c.empty()) {
+    s.first_start = 0;
+    s.last_end = 0;
+  }
+  return s;
+}
+
 std::vector<CaseSummary> summarize_cases(const EventLog& log) {
   std::vector<CaseSummary> out;
   out.reserve(log.case_count());
-  for (const Case& c : log.cases()) {
-    CaseSummary s;
-    s.id = c.id();
-    s.events = c.size();
-    bool first = true;
-    for (const Event& e : c.events()) {
-      ++s.calls[std::string(e.call)];
-      if (e.has_size()) {
-        if (call_in_family(e.call, "read")) s.bytes_read += e.size;
-        if (call_in_family(e.call, "write")) s.bytes_written += e.size;
-      }
-      s.total_dur += e.dur;
-      if (first || e.start < s.first_start) s.first_start = e.start;
-      s.last_end = std::max(s.last_end, e.end());
-      first = false;
-    }
-    if (c.empty()) {
-      s.first_start = 0;
-      s.last_end = 0;
-    }
-    out.push_back(std::move(s));
-  }
+  for (const Case& c : log.cases()) out.push_back(summarize_case(c));
+  return out;
+}
+
+std::vector<CaseSummary> summarize_cases(const EventLog& log, ThreadPool& pool) {
+  const std::span<const Case> cases = log.cases();
+  std::vector<CaseSummary> out(cases.size());
+  parallel_for(pool, 0, cases.size(), [&](std::size_t i) { out[i] = summarize_case(cases[i]); });
   return out;
 }
 

@@ -10,6 +10,10 @@
 
 #include "model/event_log.hpp"
 
+namespace st {
+class ThreadPool;
+}
+
 namespace st::model {
 
 struct CaseSummary {
@@ -25,8 +29,15 @@ struct CaseSummary {
   [[nodiscard]] Micros span() const { return last_end - first_start; }
 };
 
+/// Summary of one case.
+[[nodiscard]] CaseSummary summarize_case(const Case& c);
+
 /// One summary per case, in the log's case order.
 [[nodiscard]] std::vector<CaseSummary> summarize_cases(const EventLog& log);
+
+/// Same summaries in the same order, with per-case work fanned out
+/// over `pool`.
+[[nodiscard]] std::vector<CaseSummary> summarize_cases(const EventLog& log, ThreadPool& pool);
 
 /// Text table of the summaries (deterministic; one row per case).
 [[nodiscard]] std::string render_case_summaries(const std::vector<CaseSummary>& summaries);

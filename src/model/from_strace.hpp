@@ -47,8 +47,12 @@ namespace st::model {
 /// as such throw ParseError (checked for every path before any I/O;
 /// first offender in input order wins). Files are mmapped and parsed
 /// with mixed per-file + intra-file parallelism over `threads` workers
-/// (0 = hardware concurrency); reader warnings land in
-/// EventLog::warnings() deterministically ordered by file then line.
+/// (0 = hardware concurrency), and the record -> Case conversion fans
+/// out per file on the same pool (per-task arenas adopted into the
+/// log), so case order, event order and warning order are identical to
+/// a single-worker build. Reader warnings land in EventLog::warnings()
+/// deterministically ordered by file then line, with identical
+/// consecutive messages collapsed to the first occurrence.
 [[nodiscard]] EventLog event_log_from_files(const std::vector<std::string>& paths,
                                             std::size_t threads = 0);
 

@@ -1,5 +1,10 @@
 #include "model/query.hpp"
 
+#include <algorithm>
+#include <optional>
+
+#include "parallel/algorithms.hpp"
+#include "parallel/thread_pool.hpp"
 #include "support/strings.hpp"
 
 namespace st::model {
@@ -31,6 +36,21 @@ Query Query::fp_contains(std::string substr) const {
 Query Query::calls(std::vector<std::string> families) const {
   Query q = *this;
   for (auto& f : families) q.call_families_.push_back(std::move(f));
+  // Precompile the family match: call_in_family accepts exactly five
+  // spellings per family, so the whole accept set is finite — expand
+  // it into one sorted vector and matches() binary-searches it.
+  q.compiled_calls_.clear();
+  q.compiled_calls_.reserve(q.call_families_.size() * 5);
+  for (const auto& f : q.call_families_) {
+    q.compiled_calls_.push_back(f);
+    q.compiled_calls_.push_back("p" + f + "64");
+    q.compiled_calls_.push_back(f + "v");
+    q.compiled_calls_.push_back("p" + f + "v");
+    q.compiled_calls_.push_back("p" + f + "v2");
+  }
+  std::sort(q.compiled_calls_.begin(), q.compiled_calls_.end());
+  q.compiled_calls_.erase(std::unique(q.compiled_calls_.begin(), q.compiled_calls_.end()),
+                          q.compiled_calls_.end());
   return q;
 }
 
@@ -57,15 +77,11 @@ bool Query::matches(const Event& e) const {
   for (const auto& needle : fp_substrings_) {
     if (!contains(e.fp, needle)) return false;
   }
-  if (!call_families_.empty()) {
-    bool any = false;
-    for (const auto& family : call_families_) {
-      if (call_in_family(e.call, family)) {
-        any = true;
-        break;
-      }
-    }
-    if (!any) return false;
+  if (!compiled_calls_.empty()) {
+    const auto it = std::lower_bound(
+        compiled_calls_.begin(), compiled_calls_.end(), e.call,
+        [](const std::string& a, std::string_view b) { return std::string_view(a) < b; });
+    if (it == compiled_calls_.end() || *it != e.call) return false;
   }
   return e.start >= from_ && e.start < to_;
 }
@@ -86,23 +102,48 @@ EventLog Query::apply(const EventLog& log) const {
   return out;
 }
 
+EventLog Query::apply(const EventLog& log, ThreadPool& pool) const {
+  const std::span<const Case> cases = log.cases();
+  EventLog out;
+  out.adopt_owners_of(log);
+  // Per-case filtering is independent work; nullopt marks cases the
+  // case-level restrictions drop. Collecting in input order afterwards
+  // reproduces the serial apply() byte for byte.
+  std::vector<std::optional<Case>> kept(cases.size());
+  parallel_for(pool, 0, cases.size(), [&](std::size_t i) {
+    if (!matches_case(cases[i])) return;
+    kept[i] = cases[i].filtered([this](const Event& e) { return matches(e); });
+  });
+  for (auto& k : kept) {
+    if (k) out.add_case(std::move(*k));
+  }
+  return out;
+}
+
 std::string Query::describe() const {
+  // Clauses joined by single spaces — no build-then-pop trailing-space
+  // tricks, so the result never ends in a separator.
   std::string out;
-  for (const auto& s : fp_substrings_) out += "fp~" + s + " ";
+  const auto clause = [&out](std::string_view text) {
+    if (!out.empty()) out += ' ';
+    out += text;
+  };
+  for (const auto& s : fp_substrings_) clause("fp~" + s);
   if (!call_families_.empty()) {
-    out += "calls{";
+    std::string c = "calls{";
     for (std::size_t i = 0; i < call_families_.size(); ++i) {
-      out += (i > 0 ? "," : "") + call_families_[i];
+      if (i > 0) c += ',';
+      c += call_families_[i];
     }
-    out += "} ";
+    c += '}';
+    clause(c);
   }
   if (from_ != std::numeric_limits<Micros>::min() ||
       to_ != std::numeric_limits<Micros>::max()) {
-    out += "t[" + std::to_string(from_) + "," + std::to_string(to_) + ") ";
+    clause("t[" + std::to_string(from_) + "," + std::to_string(to_) + ")");
   }
-  if (cids_) out += "cids(" + std::to_string(cids_->size()) + ") ";
-  if (hosts_) out += "hosts(" + std::to_string(hosts_->size()) + ") ";
-  if (!out.empty()) out.pop_back();
+  if (cids_) clause("cids(" + std::to_string(cids_->size()) + ")");
+  if (hosts_) clause("hosts(" + std::to_string(hosts_->size()) + ")");
   return out.empty() ? "all" : out;
 }
 

@@ -22,6 +22,10 @@
 
 #include "model/event_log.hpp"
 
+namespace st {
+class ThreadPool;
+}
+
 namespace st::model {
 
 class Query {
@@ -33,7 +37,10 @@ class Query {
   /// Keep events whose call belongs to one of the given families.
   /// A family name matches itself plus its p*/…v variants ("read"
   /// also matches pread64, readv, preadv, preadv2), mirroring the
-  /// paper's "variants of read" selections.
+  /// paper's "variants of read" selections. The finite variant set is
+  /// expanded into a flat sorted set here, once per Query, so matches()
+  /// does a binary search per event instead of re-deriving the
+  /// variants (call_in_family) per event.
   [[nodiscard]] Query calls(std::vector<std::string> families) const;
 
   /// Keep events with start in [from, to).
@@ -54,12 +61,18 @@ class Query {
   /// Applies case restrictions, then event restrictions.
   [[nodiscard]] EventLog apply(const EventLog& log) const;
 
+  /// Same result as apply(log) — case order, per-case event order and
+  /// ownership propagation are byte-identical — with the per-case
+  /// filtering fanned out over `pool`.
+  [[nodiscard]] EventLog apply(const EventLog& log, ThreadPool& pool) const;
+
   /// Human-readable summary ("fp~/p/scratch calls{read,write}").
   [[nodiscard]] std::string describe() const;
 
  private:
   std::vector<std::string> fp_substrings_;
   std::vector<std::string> call_families_;
+  std::vector<std::string> compiled_calls_;  ///< sorted expansion of call_families_
   Micros from_ = std::numeric_limits<Micros>::min();
   Micros to_ = std::numeric_limits<Micros>::max();
   std::optional<std::set<std::string>> cids_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "strace/parser.hpp"
+#include "strace/scan_kernels.hpp"
 #include "support/errors.hpp"
 #include "support/strings.hpp"
 
@@ -20,8 +21,8 @@ ReadResult read_trace_buffer(std::shared_ptr<TraceBuffer> buffer, const ReadOpti
   std::size_t lineno = 0;
   std::size_t start = 0;
   while (start <= text.size()) {
-    const std::size_t nl = text.find('\n', start);
-    const std::size_t stop = nl == std::string_view::npos ? text.size() : nl;
+    const std::size_t nl = kernels::find_byte(text, start, '\n');
+    const std::size_t stop = nl == kernels::npos ? text.size() : nl;
     const std::string_view line = text.substr(start, stop - start);
     ++lineno;
 

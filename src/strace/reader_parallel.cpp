@@ -31,6 +31,7 @@
 #include "parallel/thread_pool.hpp"
 #include "strace/parser.hpp"
 #include "strace/reader.hpp"
+#include "strace/scan_kernels.hpp"
 #include "support/errors.hpp"
 #include "support/strings.hpp"
 
@@ -100,8 +101,8 @@ struct ChunkReader {
 
     std::size_t start = begin;
     while (start < end) {
-      const std::size_t nl = text.find('\n', start);
-      const std::size_t stop = nl == std::string_view::npos || nl >= end ? end : nl;
+      const std::size_t nl = kernels::find_byte(text, start, '\n');
+      const std::size_t stop = nl == kernels::npos || nl >= end ? end : nl;
       const std::string_view line = text.substr(start, stop - start);
       ++acc.lines;
       const std::size_t lineno = acc.lines;
@@ -260,8 +261,8 @@ std::vector<std::pair<std::size_t, std::size_t>> line_chunks(std::string_view te
   while (begin < n) {
     std::size_t end = n - begin > approx ? begin + approx : n;
     if (end < n) {
-      const auto nl = text.find('\n', end - 1);
-      end = nl == std::string_view::npos ? n : nl + 1;
+      const auto nl = kernels::find_byte(text, end - 1, '\n');
+      end = nl == kernels::npos ? n : nl + 1;
     }
     out.emplace_back(begin, end);
     begin = end;

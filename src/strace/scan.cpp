@@ -3,26 +3,10 @@
 #include <algorithm>
 #include <vector>
 
+#include "strace/scan_kernels.hpp"
 #include "support/strings.hpp"
 
 namespace st::strace {
-
-std::optional<std::size_t> skip_quoted(std::string_view s, std::size_t start) {
-  // s[start] must be the opening quote.
-  if (start >= s.size() || s[start] != '"') return std::nullopt;
-  std::size_t i = start + 1;
-  while (i < s.size()) {
-    if (s[i] == '\\') {
-      // Escape consumes the next char; a backslash as the *last* byte
-      // of a truncated line must not step the cursor past s.size().
-      i = std::min(i + 2, s.size());
-      continue;
-    }
-    if (s[i] == '"') return i + 1;
-    ++i;
-  }
-  return std::nullopt;
-}
 
 namespace {
 
@@ -61,21 +45,47 @@ struct BracketDepths {
 
 }  // namespace
 
+// Kernel-backed scanners: each loop hops from one interesting byte to
+// the next via a scan kernel instead of feeding every byte through a
+// branch. The bytes skipped over are exactly the bytes the scalar
+// loops treat as no-ops (plain characters feed() ignores), so outputs
+// are byte-identical to the *_scalar references below.
+
+std::optional<std::size_t> skip_quoted(std::string_view s, std::size_t start) {
+  // s[start] must be the opening quote.
+  if (start >= s.size() || s[start] != '"') return std::nullopt;
+  std::size_t i = start + 1;
+  while (i < s.size()) {
+    const std::size_t hit = kernels::find_quote_or_backslash(s, i);
+    if (hit == kernels::npos) return std::nullopt;
+    if (s[hit] == '\\') {
+      // Escape consumes the next char; a backslash as the *last* byte
+      // of a truncated line must not step the cursor past s.size().
+      i = std::min(hit + 2, s.size());
+      continue;
+    }
+    return hit + 1;  // the closing quote
+  }
+  return std::nullopt;
+}
+
 std::optional<std::size_t> find_matching_paren(std::string_view s, std::size_t open_paren) {
   if (open_paren >= s.size() || s[open_paren] != '(') return std::nullopt;
   BracketDepths depths;
   std::size_t i = open_paren;
   while (i < s.size()) {
-    const char c = s[i];
+    const std::size_t hit = kernels::find_structural(s, i);
+    if (hit == kernels::npos) return std::nullopt;
+    const char c = s[hit];
     if (c == '"') {
-      const auto next = skip_quoted(s, i);
+      const auto next = skip_quoted(s, hit);
       if (!next) return std::nullopt;
       i = *next;
       continue;
     }
-    if (c == ')' && depths.paren == 1) return i;  // the opener's match
+    if (c == ')' && depths.paren == 1) return hit;  // the opener's match
     depths.feed(c);
-    ++i;
+    i = hit + 1;
   }
   return std::nullopt;
 }
@@ -86,10 +96,79 @@ void split_args_into(std::string_view args, std::vector<std::string_view>& out) 
   std::size_t field_start = 0;
   std::size_t i = 0;
   while (i < args.size()) {
+    const std::size_t hit = kernels::find_structural(args, i);
+    if (hit == kernels::npos) break;
+    const char c = args[hit];
+    if (c == '"') {
+      const auto next = skip_quoted(args, hit);
+      if (!next) break;  // unterminated string: keep remainder as one field
+      i = *next;
+      continue;
+    }
+    if (c == ',' && depths.at_top_level()) {
+      out.push_back(trim(args.substr(field_start, hit - field_start)));
+      field_start = hit + 1;
+    } else {
+      depths.feed(c);
+    }
+    i = hit + 1;
+  }
+  const auto last = trim(args.substr(field_start));
+  if (!last.empty() || !out.empty()) out.push_back(last);
+}
+
+std::vector<std::string_view> split_args(std::string_view args) {
+  std::vector<std::string_view> out;
+  split_args_into(args, out);
+  return out;
+}
+
+// -- scalar reference implementations ------------------------------------
+
+std::optional<std::size_t> skip_quoted_scalar(std::string_view s, std::size_t start) {
+  if (start >= s.size() || s[start] != '"') return std::nullopt;
+  std::size_t i = start + 1;
+  while (i < s.size()) {
+    if (s[i] == '\\') {
+      i = std::min(i + 2, s.size());
+      continue;
+    }
+    if (s[i] == '"') return i + 1;
+    ++i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> find_matching_paren_scalar(std::string_view s,
+                                                      std::size_t open_paren) {
+  if (open_paren >= s.size() || s[open_paren] != '(') return std::nullopt;
+  BracketDepths depths;
+  std::size_t i = open_paren;
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c == '"') {
+      const auto next = skip_quoted_scalar(s, i);
+      if (!next) return std::nullopt;
+      i = *next;
+      continue;
+    }
+    if (c == ')' && depths.paren == 1) return i;
+    depths.feed(c);
+    ++i;
+  }
+  return std::nullopt;
+}
+
+void split_args_into_scalar(std::string_view args, std::vector<std::string_view>& out) {
+  out.clear();
+  BracketDepths depths;
+  std::size_t field_start = 0;
+  std::size_t i = 0;
+  while (i < args.size()) {
     const char c = args[i];
     if (c == '"') {
-      const auto next = skip_quoted(args, i);
-      if (!next) break;  // unterminated string: keep remainder as one field
+      const auto next = skip_quoted_scalar(args, i);
+      if (!next) break;
       i = *next;
       continue;
     }
@@ -103,12 +182,6 @@ void split_args_into(std::string_view args, std::vector<std::string_view>& out) 
   }
   const auto last = trim(args.substr(field_start));
   if (!last.empty() || !out.empty()) out.push_back(last);
-}
-
-std::vector<std::string_view> split_args(std::string_view args) {
-  std::vector<std::string_view> out;
-  split_args_into(args, out);
-  return out;
 }
 
 std::string decode_c_string(std::string_view body) {

@@ -7,6 +7,13 @@
 // the argument values. Everything is zero-copy: results view into the
 // input except decode_c_string, which interns into a StringArena only
 // when the literal actually contains escapes.
+//
+// The scanners run on the vectorized kernels of strace/scan_kernels.hpp
+// (SWAR/SSE2/NEON word scans instead of a branch per byte); the
+// original byte loops are kept as *_scalar reference implementations,
+// and the differential fuzz test (test_scan_kernels) asserts the
+// kernel-backed versions are byte-identical to them on adversarial
+// inputs under every kernel mode.
 #pragma once
 
 #include <cstddef>
@@ -54,5 +61,16 @@ struct FdPath {
   std::string_view path;
 };
 [[nodiscard]] std::optional<FdPath> parse_fd_annotation(std::string_view token);
+
+// -- scalar reference implementations ------------------------------------
+// The pre-kernel byte-at-a-time loops, kept verbatim as the behavioural
+// reference the kernel-backed scanners above are differentially tested
+// against. Not for production call sites.
+
+[[nodiscard]] std::optional<std::size_t> skip_quoted_scalar(std::string_view s,
+                                                            std::size_t start);
+[[nodiscard]] std::optional<std::size_t> find_matching_paren_scalar(std::string_view s,
+                                                                    std::size_t open_paren);
+void split_args_into_scalar(std::string_view args, std::vector<std::string_view>& out);
 
 }  // namespace st::strace

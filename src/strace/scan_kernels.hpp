@@ -1,0 +1,104 @@
+// Vectorized byte-classification kernels for the strace scan layer.
+//
+// The byte-at-a-time loops in skip_quoted / find_matching_paren /
+// split_args became the dominant cost of parsing once ingestion went
+// zero-copy: almost every byte of a trace line is ordinary path or
+// argument text, and the scalar loops spend a branch per byte deciding
+// it is uninteresting. These kernels answer the one question those
+// loops actually ask — "where is the next byte I must look at?" — over
+// 8 bytes (portable SWAR) or 16 bytes (SSE2 / NEON) per step:
+//
+//   find_byte                next occurrence of one byte (reader's
+//                            '\n' line splitting),
+//   find_quote_or_backslash  next '"' or '\\' (quoted-literal scan),
+//   find_structural          next of  " ( ) [ ] { } ,  (bracket
+//                            matching and argument splitting).
+//
+// Exactness contract: every kernel returns the index of the FIRST
+// member byte at or after `pos`, or npos — no false positives, no
+// false negatives, for arbitrary bytes including NUL and >= 0x80. The
+// SWAR masks use the exact per-byte zero test (no borrow bleed), so
+// the first-match property holds on both endiannesses.
+//
+// Memory-safety contract: kernels never read outside
+// [s.data(), s.data() + s.size()). Wide loads are issued only for
+// whole 8/16-byte blocks inside the view (via memcpy / loadu); the
+// tail is scanned scalar. This keeps the kernels clean under
+// AddressSanitizer, which the asan-ubsan preset runs over the whole
+// suite.
+//
+// Backend selection: compile-time feature detection picks SSE2 (all
+// x86-64) or NEON (aarch64) for the Simd mode, falling back to SWAR.
+// The active mode can be forced — per process via the ST_SCAN_KERNELS
+// environment variable ("scalar" | "swar" | "simd"), or at runtime via
+// set_scan_kernel_mode() — so the differential fuzz test and
+// bench/run_sanitize.sh --kernels-scalar can drive every path.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace st::strace::kernels {
+
+inline constexpr std::size_t npos = std::string_view::npos;
+
+/// Which implementation the dispatching kernels use.
+///  - Simd:   best vector path compiled in (SSE2/NEON), else SWAR.
+///  - Swar:   portable 64-bit word scan.
+///  - Scalar: reference byte loop (the pre-kernel behaviour).
+enum class ScanKernelMode { Simd, Swar, Scalar };
+
+/// Process-wide kernel mode. Defaults to Simd; initialized once from
+/// ST_SCAN_KERNELS if set. Reads are relaxed-atomic (hot path).
+[[nodiscard]] ScanKernelMode scan_kernel_mode();
+void set_scan_kernel_mode(ScanKernelMode mode);
+
+/// Name of the backend Simd mode resolves to: "sse2", "neon" or "swar".
+[[nodiscard]] std::string_view scan_kernel_backend();
+
+/// True for the structural class the scanners stop on:  " ( ) [ ] { } ,
+[[nodiscard]] constexpr bool is_structural_byte(char c) {
+  switch (c) {
+    case '"':
+    case '(':
+    case ')':
+    case '[':
+    case ']':
+    case '{':
+    case '}':
+    case ',':
+      return true;
+    default:
+      return false;
+  }
+}
+
+// -- dispatching kernels (honor scan_kernel_mode) ------------------------
+
+/// Index of the first `c` at or after `pos`, npos if none.
+[[nodiscard]] std::size_t find_byte(std::string_view s, std::size_t pos, char c);
+
+/// Index of the first '"' or '\\' at or after `pos`, npos if none.
+[[nodiscard]] std::size_t find_quote_or_backslash(std::string_view s, std::size_t pos);
+
+/// Index of the first structural byte (is_structural_byte) at or after
+/// `pos`, npos if none.
+[[nodiscard]] std::size_t find_structural(std::string_view s, std::size_t pos);
+
+// -- fixed-backend entry points (differential testing / benchmarks) ------
+
+[[nodiscard]] std::size_t find_byte_scalar(std::string_view s, std::size_t pos, char c);
+[[nodiscard]] std::size_t find_quote_or_backslash_scalar(std::string_view s, std::size_t pos);
+[[nodiscard]] std::size_t find_structural_scalar(std::string_view s, std::size_t pos);
+
+[[nodiscard]] std::size_t find_byte_swar(std::string_view s, std::size_t pos, char c);
+[[nodiscard]] std::size_t find_quote_or_backslash_swar(std::string_view s, std::size_t pos);
+[[nodiscard]] std::size_t find_structural_swar(std::string_view s, std::size_t pos);
+
+/// SIMD entry points fall back to the SWAR implementation when no
+/// vector backend is compiled in (scan_kernel_backend() == "swar").
+[[nodiscard]] std::size_t find_byte_simd(std::string_view s, std::size_t pos, char c);
+[[nodiscard]] std::size_t find_quote_or_backslash_simd(std::string_view s, std::size_t pos);
+[[nodiscard]] std::size_t find_structural_simd(std::string_view s, std::size_t pos);
+
+}  // namespace st::strace::kernels

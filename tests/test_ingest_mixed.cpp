@@ -217,6 +217,51 @@ TEST_F(MixedParallel, WarningsOrderedByFileThenLine) {
   EXPECT_TRUE(log.filter_fp("/p").warnings().empty());
 }
 
+TEST_F(MixedParallel, ParallelConversionIdenticalToSingleWorker) {
+  // The record -> Case conversion fans out on the pool; everything
+  // observable — case order, events, warning strings and their order —
+  // must be byte-identical to a 1-worker build.
+  std::vector<std::string> paths;
+  paths.push_back(write_file("big_nodeA_1.st", make_trace(900, true)));
+  for (int i = 0; i < 5; ++i) {
+    paths.push_back(write_file("s_nodeB_" + std::to_string(i + 2) + ".st",
+                               make_trace(35 + static_cast<std::size_t>(i), true,
+                                          static_cast<std::uint64_t>(200 + i))));
+  }
+  const auto serial = model::event_log_from_files(paths, /*threads=*/1);
+  const auto parallel = model::event_log_from_files(paths, /*threads=*/4);
+
+  ASSERT_EQ(parallel.case_count(), serial.case_count());
+  for (std::size_t c = 0; c < serial.case_count(); ++c) {
+    const auto& a = serial.cases()[c];
+    const auto& b = parallel.cases()[c];
+    ASSERT_EQ(a.id(), b.id());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a.events()[i], b.events()[i]);
+  }
+  EXPECT_EQ(parallel.warnings(), serial.warnings());
+}
+
+TEST_F(MixedParallel, IdenticalConsecutiveWarningsAreDeduped) {
+  // A file whose only defect is one never-resumed unfinished call
+  // produces exactly one warning; listing the file twice would repeat
+  // it back to back — the builder collapses the run.
+  const auto path = write_file(
+      "dup_host1_1.st", "7  10:00:00.000000 read(3</p/f>, <unfinished ...>\n");
+  const auto once = model::event_log_from_files({path});
+  ASSERT_EQ(once.warnings().size(), 1u);
+  EXPECT_EQ(once.warnings()[0], path + ": unfinished call never resumed: pid 7 read");
+
+  const auto twice = model::event_log_from_files({path, path});
+  EXPECT_EQ(twice.warnings(), once.warnings());
+
+  // Distinct consecutive warnings are all kept.
+  const auto other = write_file(
+      "dup_host1_2.st", "9  10:00:00.000000 read(3</p/f>, <unfinished ...>\n");
+  const auto mixed = model::event_log_from_files({path, other});
+  EXPECT_EQ(mixed.warnings().size(), 2u);
+}
+
 TEST_F(MixedParallel, BadFileNameThrowsFirstInInputOrder) {
   const auto good = write_file("ok_host1_1.st", make_trace(10, false));
   const auto bad1 = write_file("nounderscore.st", make_trace(10, false));

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "parallel/thread_pool.hpp"
 #include "testing_util.hpp"
 
 namespace st::model {
@@ -101,6 +102,79 @@ TEST(Query, MatchesEventDirectly) {
   EXPECT_TRUE(q.matches(ev("write", "/x", 0, 1)));
   EXPECT_TRUE(q.matches(ev("pwrite64", "/x", 0, 1)));
   EXPECT_FALSE(q.matches(ev("read", "/x", 0, 1)));
+}
+
+TEST(Query, CompiledCallSetMatchesCallInFamily) {
+  // The precompiled sorted variant set must agree with the per-event
+  // call_in_family derivation on near-miss names.
+  const auto q = Query().calls({"read"});
+  EXPECT_TRUE(q.matches(ev("read", "/x", 0, 1)));
+  EXPECT_TRUE(q.matches(ev("pread64", "/x", 0, 1)));
+  EXPECT_TRUE(q.matches(ev("preadv2", "/x", 0, 1)));
+  EXPECT_FALSE(q.matches(ev("readlink", "/x", 0, 1)));   // prefix, not a variant
+  EXPECT_FALSE(q.matches(ev("pread", "/x", 0, 1)));      // p-prefix needs the 64/v suffix
+  EXPECT_FALSE(q.matches(ev("readv2", "/x", 0, 1)));     // v2 only with the p prefix
+  EXPECT_FALSE(q.matches(ev("rea", "/x", 0, 1)));
+}
+
+TEST(Query, ParallelApplyIsByteIdenticalToSerial) {
+  EventLog log = sample();
+  // More cases than workers so chunking kicks in.
+  for (int i = 0; i < 9; ++i) {
+    log.add_case(make_case("bulk", 100 + i,
+                           {ev("read", "/p/scratch/bulk", i * 10, 5, 64),
+                            ev("write", "/p/scratch/bulk", i * 10 + 5, 5, 64),
+                            ev("openat", "/usr/lib/x", i * 10 + 7, 1)}));
+  }
+  ThreadPool pool(3);
+  const Query queries[] = {
+      Query(),
+      Query().fp_contains("/p/scratch"),
+      Query().calls({"read", "write"}).between(5, 95),
+      Query().cids({"ssf", "bulk"}).hosts({"node1"}),
+      Query().fp_contains("nowhere"),
+  };
+  for (const auto& q : queries) {
+    const EventLog serial = q.apply(log);
+    const EventLog parallel = q.apply(log, pool);
+    ASSERT_EQ(parallel.case_count(), serial.case_count()) << q.describe();
+    for (std::size_t c = 0; c < serial.case_count(); ++c) {
+      const auto& a = serial.cases()[c];
+      const auto& b = parallel.cases()[c];
+      ASSERT_EQ(a.id(), b.id()) << q.describe();
+      ASSERT_EQ(a.size(), b.size()) << q.describe();
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a.events()[i], b.events()[i]) << q.describe() << " case " << c;
+      }
+    }
+  }
+}
+
+TEST(Query, ParallelApplySharesOwnership) {
+  ThreadPool pool(2);
+  EventLog narrowed;
+  {
+    EventLog log;
+    // Event strings view into the log's own arena (not the test
+    // helpers' process-lifetime arena); the derived log must keep that
+    // storage alive after the source dies.
+    auto& arena = log.arena();
+    Event e;
+    e.cid = arena.intern("own");
+    e.host = arena.intern("node1");
+    e.rid = 1;
+    e.pid = 1;
+    e.call = arena.intern("write");
+    e.start = 10;
+    e.dur = 5;
+    e.fp = arena.intern("/p/scratch/owned");
+    e.size = 128;
+    log.add_case(Case(CaseId{"own", "node1", 1}, {e}));
+    narrowed = Query().fp_contains("/p/scratch").apply(log, pool);
+  }
+  ASSERT_EQ(narrowed.total_events(), 1u);
+  EXPECT_EQ(narrowed.cases()[0].events()[0].fp, "/p/scratch/owned");
+  EXPECT_EQ(narrowed.cases()[0].events()[0].call, "write");
 }
 
 }  // namespace

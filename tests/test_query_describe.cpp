@@ -1,0 +1,81 @@
+// Query::describe() coverage: every combination of the five
+// restriction kinds renders as clean space-joined clauses — no
+// trailing separator (the old build-then-pop_back formatting), no
+// double spaces, clauses in the documented order.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/query.hpp"
+
+namespace st::model {
+namespace {
+
+struct Restriction {
+  std::string clause;                       // expected describe() fragment
+  Query (*add)(const Query&);               // applies the restriction
+};
+
+const std::vector<Restriction>& restrictions() {
+  static const std::vector<Restriction> r = {
+      {"fp~/p/scratch", [](const Query& q) { return q.fp_contains("/p/scratch"); }},
+      {"calls{read,write}", [](const Query& q) { return q.calls({"read", "write"}); }},
+      {"t[10,200)", [](const Query& q) { return q.between(10, 200); }},
+      {"cids(2)", [](const Query& q) { return q.cids({"a", "b"}); }},
+      {"hosts(1)", [](const Query& q) { return q.hosts({"node1"}); }},
+  };
+  return r;
+}
+
+TEST(QueryDescribe, EveryRestrictionCombination) {
+  const auto& r = restrictions();
+  for (unsigned mask = 0; mask < (1u << r.size()); ++mask) {
+    Query q;
+    std::string expected;
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if ((mask & (1u << i)) == 0) continue;
+      q = r[i].add(q);
+      if (!expected.empty()) expected += ' ';
+      expected += r[i].clause;
+    }
+    if (expected.empty()) expected = "all";
+    EXPECT_EQ(q.describe(), expected) << "mask " << mask;
+  }
+}
+
+TEST(QueryDescribe, NoSeparatorArtifacts) {
+  const auto& r = restrictions();
+  for (unsigned mask = 0; mask < (1u << r.size()); ++mask) {
+    Query q;
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (mask & (1u << i)) q = r[i].add(q);
+    }
+    const std::string d = q.describe();
+    ASSERT_FALSE(d.empty());
+    EXPECT_NE(d.front(), ' ') << "mask " << mask << ": " << testing::PrintToString(d);
+    EXPECT_NE(d.back(), ' ') << "mask " << mask << ": " << testing::PrintToString(d);
+    EXPECT_EQ(d.find("  "), std::string::npos) << "mask " << mask << ": "
+                                               << testing::PrintToString(d);
+  }
+}
+
+TEST(QueryDescribe, MultipleFpClausesStayOrdered) {
+  const auto q = Query().fp_contains("/p").fp_contains("ssf").calls({"read"});
+  EXPECT_EQ(q.describe(), "fp~/p fp~ssf calls{read}");
+}
+
+TEST(QueryDescribe, SingleRestrictionHasNoPadding) {
+  EXPECT_EQ(Query().hosts({"n1", "n2", "n3"}).describe(), "hosts(3)");
+  EXPECT_EQ(Query().between(0, 100).describe(), "t[0,100)");
+  EXPECT_EQ(Query().describe(), "all");
+}
+
+TEST(QueryDescribe, CallFamiliesKeepBuilderOrder) {
+  // describe() reports the families as given, not the compiled sorted
+  // variant expansion used for matching.
+  EXPECT_EQ(Query().calls({"write", "read"}).describe(), "calls{write,read}");
+}
+
+}  // namespace
+}  // namespace st::model
