@@ -36,12 +36,16 @@ out_dir="${2:-$repo_root}"
 
 if [[ -z "$build_dir" ]]; then
   build_dir="$repo_root/build-native"
-  if [[ ! -x "$build_dir/bench/bench_parse" ]]; then
-    # --preset resolves relative to the working directory, so build
-    # from the repo root regardless of where the script was invoked.
-    (cd "$repo_root" && cmake --preset release-native &&
-     cmake --build --preset release-native -j "$(nproc)")
+  # --preset resolves relative to the working directory, so build from
+  # the repo root regardless of where the script was invoked. Always
+  # build: an incremental no-op is cheap, while a stale build-native/
+  # would silently benchmark last PR's binaries.
+  # Key on the cache, not the directory: an interrupted first configure
+  # leaves build-native/ without a usable CMakeCache.txt.
+  if [[ ! -f "$build_dir/CMakeCache.txt" ]]; then
+    (cd "$repo_root" && cmake --preset release-native)
   fi
+  (cd "$repo_root" && cmake --build --preset release-native -j "$(nproc)")
 fi
 
 if [[ ! -x "$build_dir/bench/bench_parse" ]]; then
@@ -50,7 +54,8 @@ if [[ ! -x "$build_dir/bench/bench_parse" ]]; then
 fi
 
 parse_raw="$(mktemp)"
-trap 'rm -f "$parse_raw"' EXIT
+pipeline_raw="$(mktemp)"
+trap 'rm -f "$parse_raw" "$pipeline_raw"' EXIT
 
 "$build_dir/bench/bench_parse" \
   --benchmark_format=json \
@@ -60,7 +65,53 @@ trap 'rm -f "$parse_raw"' EXIT
 "$build_dir/bench/bench_pipeline" \
   --benchmark_format=json \
   --benchmark_min_time=0.2 \
-  >"$out_dir/BENCH_pipeline.json"
+  >"$pipeline_raw"
+
+# BENCH_pipeline.json layout:
+#   {
+#     "pipeline_overlap_speedup_vs_staged": <best streamed-over-staged
+#         trace->EventLog->DFG ratio across worker counts; parity is
+#         the ceiling on a 1-CPU box>,
+#     "pipeline_overlap_speedup_by_workers": {"1": .., "2": .., "4": ..},
+#     "pipeline_scaling": {"staged": {...}, "streamed": {...}}  (items/s),
+#     "current": <google-benchmark JSON of bench_pipeline>
+#   }
+python3 - "$pipeline_raw" "$out_dir/BENCH_pipeline.json" <<'EOF'
+import json
+import sys
+
+current = json.load(open(sys.argv[1]))
+
+def metric(name, key):
+    for bench in current.get("benchmarks", []):
+        if bench.get("name") == name and key in bench:
+            return bench[key]
+    return None
+
+def scaling(prefix):
+    points = {}
+    for w in (1, 2, 4):
+        ips = metric(f"{prefix}/{w}/real_time", "items_per_second")
+        if ips is not None:
+            points[str(w)] = round(ips)
+    return points
+
+staged = scaling("BM_PipelineStaged")
+streamed = scaling("BM_PipelineStreamed")
+by_workers = {w: round(streamed[w] / staged[w], 2)
+              for w in streamed if w in staged and staged[w]}
+best = max(by_workers.values()) if by_workers else None
+
+out = {
+    "pipeline_overlap_speedup_vs_staged": best,
+    "pipeline_overlap_speedup_by_workers": by_workers,
+    "pipeline_scaling": {"staged": staged, "streamed": streamed},
+    "current": current,
+}
+json.dump(out, open(sys.argv[2], "w"), indent=1)
+print(f"wrote {sys.argv[2]} (pipeline_overlap_speedup_vs_staged = {best}x, "
+      f"by_workers = {by_workers})")
+EOF
 
 python3 - "$parse_raw" "$repo_root/bench/baseline_seed.json" "$out_dir/BENCH_parse.json" <<'EOF'
 import json

@@ -16,6 +16,7 @@
 #include "model/from_strace.hpp"
 #include "model/query.hpp"
 #include "parallel/thread_pool.hpp"
+#include "pipeline/stream.hpp"
 #include "support/cli.hpp"
 #include "support/errors.hpp"
 #include "support/strings.hpp"
@@ -83,11 +84,13 @@ int main(int argc, char** argv) {
       std::cout << "query [" << query.describe() << "] kept " << filtered.total_events()
                 << " events; wrote " << args[1] << "\n";
     } else if (command == "import") {
-      // strace text -> elog container, through the zero-copy parallel
-      // ingestion pipeline (cid_host_rid.st naming required).
+      // strace text -> elog container, through the streaming pipeline:
+      // zero-copy mmap parse and record -> Case conversion overlap on
+      // one pool (cid_host_rid.st naming required).
       if (args.size() < 3) throw ParseError("import takes an output and >= 1 trace files");
       const std::vector<std::string> files(args.begin() + 2, args.end());
-      const auto log = model::event_log_from_files(files, thread_count(cli));
+      ThreadPool pool(thread_count(cli));
+      const auto log = pipeline::event_log_streamed(files, pool);
       for (const auto& w : log.warnings()) std::cerr << "warning: " << w << "\n";
       elog::write_event_log_file(args[1], log);
       std::cout << "imported " << files.size() << " trace files (" << log.total_events()

@@ -12,6 +12,8 @@
 #include <algorithm>
 #include <cstdint>
 #include <iostream>
+#include <optional>
+#include <utility>
 
 #include "dfg/builder.hpp"
 #include "dfg/render.hpp"
@@ -21,6 +23,7 @@
 #include "model/case_stats.hpp"
 #include "model/from_strace.hpp"
 #include "parallel/thread_pool.hpp"
+#include "pipeline/stream.hpp"
 #include "report/report.hpp"
 #include "support/cli.hpp"
 #include "support/errors.hpp"
@@ -63,7 +66,9 @@ int main(int argc, char** argv) {
     cli.parse(argc, argv);
 
     // -- load --------------------------------------------------------
+    const auto f = make_mapping(cli.get("map"));
     model::EventLog log;
+    std::optional<dfg::Dfg> streamed_graph;
     if (cli.positional().empty()) {
       std::cerr << "(no inputs; demoing on the built-in ls / ls -l traces)\n";
       log = model::EventLog::merge(iosim::make_ls_traces().to_event_log(),
@@ -71,16 +76,23 @@ int main(int argc, char** argv) {
     } else if (cli.positional().size() == 1 && cli.positional()[0].ends_with(".elog")) {
       log = elog::read_event_log_file(cli.positional()[0]);
     } else {
-      // Zero-copy mmap ingestion with mixed per-file + intra-file
-      // parallelism on one shared pool.
-      log = model::event_log_from_files(cli.positional(), thread_count(cli));
+      // Streaming pipeline: zero-copy mmap parse, record -> Case
+      // conversion and (when no --filter narrows the log afterwards)
+      // DFG construction all overlap on one shared pool.
+      ThreadPool pool(thread_count(cli));
+      if (cli.has("filter")) {
+        log = pipeline::event_log_streamed(cli.positional(), pool);
+      } else {
+        auto result = pipeline::trace_to_dfg(cli.positional(), f, pool);
+        log = std::move(result.log);
+        streamed_graph = std::move(result.graph);
+      }
     }
     for (const auto& w : log.warnings()) std::cerr << "warning: " << w << "\n";
     if (cli.has("filter")) log = log.filter_fp(cli.get("filter"));
 
     // -- analyze -----------------------------------------------------
-    const auto f = make_mapping(cli.get("map"));
-    const auto g = dfg::build_serial(log, f);
+    const auto g = streamed_graph ? std::move(*streamed_graph) : dfg::build_serial(log, f);
     const auto stats = dfg::IoStatistics::compute(log, f);
 
     if (cli.has("timeline")) {

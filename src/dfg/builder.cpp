@@ -4,8 +4,6 @@
 
 namespace st::dfg {
 
-namespace {
-
 void add_case_trace(Dfg& g, const model::Case& c, const model::Mapping& f) {
   model::ActivityTrace trace;
   trace.reserve(c.size());
@@ -14,8 +12,6 @@ void add_case_trace(Dfg& g, const model::Case& c, const model::Mapping& f) {
   }
   g.add_trace(trace, 1);
 }
-
-}  // namespace
 
 Dfg build_serial(const model::EventLog& log, const model::Mapping& f) {
   Dfg g;

@@ -23,4 +23,10 @@ namespace st::dfg {
 [[nodiscard]] Dfg build_parallel(const model::EventLog& log, const model::Mapping& f,
                                  ThreadPool& pool);
 
+/// Folds ONE case's activity trace into `g` — the unit step both
+/// builders are made of, exported so the streaming pipeline
+/// (pipeline/stream.cpp) can grow per-task partial graphs that merge
+/// to exactly what build_parallel produces.
+void add_case_trace(Dfg& g, const model::Case& c, const model::Mapping& f);
+
 }  // namespace st::dfg

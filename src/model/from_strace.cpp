@@ -1,13 +1,9 @@
 #include "model/from_strace.hpp"
 
-#include <algorithm>
-#include <memory>
 #include <utility>
 
-#include "parallel/algorithms.hpp"
 #include "parallel/thread_pool.hpp"
-#include "strace/reader.hpp"
-#include "support/errors.hpp"
+#include "pipeline/stream.hpp"
 
 namespace st::model {
 
@@ -53,68 +49,15 @@ Case case_from_records(const strace::TraceFileId& id,
 }
 
 EventLog event_log_from_files(const std::vector<std::string>& paths, std::size_t threads) {
-  // Validate every file name before any I/O: the error for a bad name
-  // is deterministic (first offender in input order) and cheap.
-  std::vector<strace::TraceFileId> ids;
-  ids.reserve(paths.size());
-  for (const auto& path : paths) {
-    auto id = strace::parse_trace_filename(path);
-    if (!id) throw ParseError("trace file name does not follow cid_host_rid.st: " + path);
-    ids.push_back(std::move(*id));
-  }
-
-  // Mixed parallelism: all (file, chunk) parse tasks share one pool,
-  // so a single huge trace and a swarm of small ones both saturate it.
+  // Rebuilt on the streaming pipeline (pipeline/stream.hpp): each
+  // file's record -> Case conversion is enqueued the moment that
+  // file's parse chunks finish folding, instead of after ALL files
+  // parse — parse and convert overlap on one pool. Output (case
+  // order, event order, warning order) is byte-identical to the old
+  // staged build; name validation and error determinism live in the
+  // pipeline core.
   ThreadPool pool(threads);
-  strace::ParallelReadOptions opts;
-  opts.pool = &pool;
-  auto results = strace::read_trace_files_mixed(paths, opts);
-
-  // Conversion fans out on the same pool. EventLog::arena() is not
-  // thread-safe, so tasks intern cid/host into private arenas the log
-  // adopts below — one arena per CHUNK of files, not per file: an
-  // arena's first block is 64 KiB, and a swarm of small traces (the
-  // workload mixed parallelism exists for) must not pin 64 KiB per
-  // file to hold two short strings each. Assembling strictly in input
-  // order keeps case order and warning order identical to a 1-worker
-  // build.
-  const std::size_t n = results.size();
-  const std::size_t chunks = default_chunks(pool, n);
-  const std::size_t chunk_size = (n + chunks - 1) / chunks;
-  std::vector<Case> cases(n);
-  std::vector<std::shared_ptr<strace::StringArena>> arenas(chunks);
-  parallel_for(pool, 0, chunks, [&](std::size_t c) {
-    const std::size_t lo = c * chunk_size;
-    const std::size_t hi = std::min(n, lo + chunk_size);
-    if (lo >= hi) return;
-    auto arena = std::make_shared<strace::StringArena>();
-    for (std::size_t i = lo; i < hi; ++i) {
-      cases[i] = case_from_records(ids[i], results[i].records, *arena);
-    }
-    arenas[c] = std::move(arena);
-  });
-
-  EventLog log;
-  for (auto& arena : arenas) {
-    if (arena) log.adopt(std::move(arena));
-  }
-  std::string prefixed;  // reused "<path>: <warning>" buffer
-  for (std::size_t i = 0; i < n; ++i) {
-    log.add_case(std::move(cases[i]));
-    log.adopt(std::move(results[i].buffer));
-    for (const auto& warning : results[i].warnings) {
-      prefixed.clear();
-      prefixed.reserve(paths[i].size() + 2 + warning.size());
-      prefixed += paths[i];
-      prefixed += ": ";
-      prefixed += warning;
-      // A malformed region repeating the same defect floods the log
-      // with copies of one message; keep the first of each run.
-      if (!log.warnings().empty() && log.warnings().back() == prefixed) continue;
-      log.add_warning(prefixed);
-    }
-  }
-  return log;
+  return pipeline::event_log_streamed(paths, pool);
 }
 
 }  // namespace st::model

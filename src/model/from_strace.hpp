@@ -45,14 +45,17 @@ namespace st::model {
 /// Reads a set of trace files from disk into an event log. File names
 /// must follow the cid_host_rid.st convention; files that do not parse
 /// as such throw ParseError (checked for every path before any I/O;
-/// first offender in input order wins). Files are mmapped and parsed
-/// with mixed per-file + intra-file parallelism over `threads` workers
-/// (0 = hardware concurrency), and the record -> Case conversion fans
-/// out per file on the same pool (per-task arenas adopted into the
-/// log), so case order, event order and warning order are identical to
-/// a single-worker build. Reader warnings land in EventLog::warnings()
-/// deterministically ordered by file then line, with identical
-/// consecutive messages collapsed to the first occurrence.
+/// first offender in input order wins). Built on the streaming
+/// pipeline (pipeline/stream.hpp): files are mmapped and parsed with
+/// mixed per-file + intra-file parallelism over `threads` workers
+/// (0 = hardware concurrency), and each file's record -> Case
+/// conversion is enqueued on the same pool the moment that file's
+/// parse chunks finish folding (per-task arenas adopted into the log),
+/// so parse and convert overlap while case order, event order and
+/// warning order stay identical to a single-worker build. Reader
+/// warnings land in EventLog::warnings() deterministically ordered by
+/// file then line, with identical consecutive messages collapsed to
+/// the first occurrence.
 [[nodiscard]] EventLog event_log_from_files(const std::vector<std::string>& paths,
                                             std::size_t threads = 0);
 

@@ -1,0 +1,49 @@
+#include "parallel/stage_queue.hpp"
+
+#include <algorithm>
+
+namespace st::detail {
+
+StageQueueCore::StageQueueCore(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+bool StageQueueCore::acquire_push_slot(std::unique_lock<std::mutex>& lock) {
+  space_cv_.wait(lock, [this] { return closed_ || size_ < capacity_; });
+  return !closed_;
+}
+
+bool StageQueueCore::acquire_item(std::unique_lock<std::mutex>& lock) {
+  item_cv_.wait(lock, [this] { return closed_ || size_ > 0; });
+  if (size_ > 0) return true;
+  // Closed and drained: an error-close poisons every further pop so a
+  // producer-side failure cannot be mistaken for a clean end-of-stream.
+  if (error_) std::rethrow_exception(error_);
+  return false;
+}
+
+void StageQueueCore::finish_push(std::unique_lock<std::mutex>& lock) {
+  ++size_;
+  lock.unlock();
+  item_cv_.notify_one();
+}
+
+void StageQueueCore::finish_pop(std::unique_lock<std::mutex>& lock) {
+  --size_;
+  lock.unlock();
+  space_cv_.notify_one();
+}
+
+void StageQueueCore::do_close(std::exception_ptr error) {
+  {
+    std::lock_guard lock(mutex_);
+    if (closed_) return;  // first close wins
+    closed_ = true;
+    error_ = std::move(error);
+  }
+  // Wake everyone: blocked producers return false, blocked consumers
+  // drain whatever is left and then see the closed state.
+  space_cv_.notify_all();
+  item_cv_.notify_all();
+}
+
+}  // namespace st::detail

@@ -13,14 +13,23 @@ ThreadPool::ThreadPool(std::size_t threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  // Discard tasks that never started instead of draining them: running
+  // a queued continuation during teardown would let it touch state its
+  // submitter already destroyed (the pipeline's per-file arenas, an
+  // unwinding caller's stack). Their futures report broken_promise.
+  // Tasks already running are joined as before.
+  std::deque<std::function<void()>> orphaned;
   {
     std::lock_guard lock(mutex_);
     stopping_ = true;
+    orphaned.swap(queue_);
   }
   cv_.notify_all();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
+  // `orphaned` is destroyed here, outside the lock and after the
+  // workers are gone, so task destructors cannot deadlock or race.
 }
 
 void ThreadPool::wait_idle() {

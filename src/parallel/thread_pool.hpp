@@ -35,7 +35,11 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Drains the queue and joins all workers.
+  /// Joins all workers. Tasks already running finish; tasks still
+  /// queued are DISCARDED (their futures report broken_promise) — a
+  /// queued continuation must never run while its submitter's state is
+  /// being torn down. Callers that need completion await their futures
+  /// or call wait_idle() first, as every algorithm in this repo does.
   ~ThreadPool();
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }

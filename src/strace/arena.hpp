@@ -20,6 +20,14 @@ namespace st::strace {
 class StringArena {
  public:
   StringArena() = default;
+
+  /// Arena with a custom block size. The streaming pipeline creates one
+  /// arena per trace file holding only that case's interned cid/host —
+  /// a swarm of small traces must not pin a 64 KiB block per file to
+  /// hold two short strings each.
+  explicit StringArena(std::size_t block_bytes)
+      : block_bytes_(block_bytes == 0 ? 1 : block_bytes) {}
+
   StringArena(const StringArena&) = delete;
   StringArena& operator=(const StringArena&) = delete;
   StringArena(StringArena&&) noexcept = default;
@@ -51,7 +59,7 @@ class StringArena {
 
   char* allocate(std::size_t n) {
     if (n > block_left_) {
-      const std::size_t block = n > kBlockBytes ? n : kBlockBytes;
+      const std::size_t block = n > block_bytes_ ? n : block_bytes_;
       blocks_.push_back(std::make_unique<char[]>(block));
       cursor_ = blocks_.back().get();
       block_left_ = block;
@@ -65,6 +73,7 @@ class StringArena {
 
   std::vector<std::unique_ptr<char[]>> blocks_;
   char* cursor_ = nullptr;
+  std::size_t block_bytes_ = kBlockBytes;
   std::size_t block_left_ = 0;
   std::size_t used_ = 0;
 };

@@ -23,7 +23,10 @@
 #pragma once
 
 #include <cstddef>
+#include <exception>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -101,5 +104,81 @@ struct ParallelReadOptions : ReadOptions {
 /// first unopenable path in input order, before any parsing starts.
 [[nodiscard]] std::vector<ReadResult> read_trace_files_mixed(
     const std::vector<std::string>& paths, const ParallelReadOptions& opts = {});
+
+// ---- streamed per-file completion --------------------------------------
+
+/// Called the moment ONE buffer's parse chunks have all folded — from
+/// the pool thread that finished the file's last chunk, at most once
+/// per file, possibly out of input order. The ReadResult is identical
+/// to what read_trace_buffer would have produced for that buffer.
+using FileReadyFn = std::function<void(std::size_t file_index, ReadResult&&)>;
+
+/// Handle to an in-flight streamed parse. read_trace_*_streamed return
+/// it immediately after enqueueing every (file, chunk) parse task; the
+/// pipeline layer overlaps downstream stages with the parse by reacting
+/// to the per-file callbacks while the handle is live.
+class StreamedParse {
+ public:
+  struct Error {
+    std::size_t file_index = 0;  ///< input index of the failing file
+    std::exception_ptr error;
+  };
+
+  StreamedParse(StreamedParse&&) noexcept = default;
+  /// Joins the parse currently held (like the destructor would) before
+  /// taking over `other`'s — tasks of the replaced parse reference its
+  /// state and must not outlive it.
+  StreamedParse& operator=(StreamedParse&& other) noexcept;
+
+  /// Joins: no parse/fold task or callback is running or pending after
+  /// this returns (also run by the destructor — tasks never leak).
+  ~StreamedParse();
+
+  /// Blocks until every task and callback has finished. Never throws.
+  void join();
+
+  /// After join(): the earliest failure in input order — lowest file
+  /// index first, lowest chunk within the file; fold/finalize errors
+  /// (strict-mode parse errors surface there) and exceptions escaping
+  /// the on_file_done callback rank after the file's chunk errors.
+  [[nodiscard]] std::optional<Error> error() const;
+
+  /// join(), then rethrow the recorded error, if any.
+  void wait();
+
+ private:
+  struct State;
+  friend StreamedParse read_trace_buffers_streamed(std::vector<std::shared_ptr<TraceBuffer>>,
+                                                   const ParallelReadOptions&, FileReadyFn,
+                                                   std::function<void()>);
+  explicit StreamedParse(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+/// Streamed variant of read_trace_buffers_parallel: the same one work
+/// queue of (buffer, chunk) parse tasks, but each buffer's fold runs on
+/// the pool thread that finished its last chunk and `on_file_done`
+/// fires right there — downstream stages can start consuming a file
+/// while other files are still parsing. `on_all_done` (optional) fires
+/// exactly once, normally after the last file settles, whether it
+/// parsed cleanly or failed (on the thread that settled it; inline
+/// when `buffers` is empty) — and EARLY if task submission itself
+/// fails, so consumers can unblock producers parked in a backpressured
+/// hand-off. When opts.pool is null the handle owns a private pool
+/// sized by opts.threads; a caller-provided opts.pool must outlive the
+/// returned handle (destroying the pool first discards chunk tasks
+/// that never started, and the handle's join would then wait forever).
+[[nodiscard]] StreamedParse read_trace_buffers_streamed(
+    std::vector<std::shared_ptr<TraceBuffer>> buffers, const ParallelReadOptions& opts,
+    FileReadyFn on_file_done, std::function<void()> on_all_done = {});
+
+/// mmap-opening wrapper (same contract as read_trace_files_mixed's
+/// opening step: IoError for the first unopenable path, before any
+/// parse task is enqueued).
+[[nodiscard]] StreamedParse read_trace_files_streamed(const std::vector<std::string>& paths,
+                                                      const ParallelReadOptions& opts,
+                                                      FileReadyFn on_file_done,
+                                                      std::function<void()> on_all_done = {});
 
 }  // namespace st::strace

@@ -18,9 +18,13 @@
 // read_trace_buffer. The acceptance test (test_parallel_reader)
 // asserts this on adversarial multi-PID corpora.
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <exception>
 #include <iterator>
 #include <limits>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -372,70 +376,242 @@ ReadResult read_trace_parallel(std::shared_ptr<TraceBuffer> buffer,
   return finalize_acc(std::move(acc), std::move(buffer), opts);
 }
 
-std::vector<ReadResult> read_trace_buffers_parallel(
-    std::vector<std::shared_ptr<TraceBuffer>> buffers, const ParallelReadOptions& opts) {
-  std::optional<ThreadPool> local_pool;
-  ThreadPool* pool = opts.pool;
-  if (pool == nullptr) {
-    local_pool.emplace(opts.threads);
-    pool = &*local_pool;
-  }
+// ---- streamed per-file completion --------------------------------------
 
-  // One work queue of (buffer, chunk) parse tasks: a multi-chunk file
-  // and a swarm of single-chunk files drain the same pool, so neither
-  // axis of parallelism starves the other.
-  struct FileWork {
-    ChunkReader reader;
+/// Shared state of one streamed parse, owned by the handle alone.
+/// Tasks reference it through a RAW pointer on purpose: the handle
+/// joins before it releases the state (wait for tasks_left == 0, after
+/// which workers only run trivial epilogues), and a shared_ptr capture
+/// would let the last-finishing WORKER destroy the state — and with it
+/// the state-owned private pool, joining the worker's own thread.
+struct StreamedParse::State {
+  // The private pool (when opts.pool was null) is declared first so it
+  // is destroyed last: by then every task has run and dropped its
+  // shared_ptr, so the workers are idle.
+  std::optional<ThreadPool> local_pool;
+  ThreadPool* pool = nullptr;
+
+  ParallelReadOptions opts;  ///< stable storage for the ChunkReaders' reference
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  FileReadyFn on_file;
+  std::function<void()> on_done;
+
+  /// Sentinel chunk index ranking fold/finalize/callback errors after
+  /// every real chunk of the same file.
+  static constexpr std::size_t kFoldStage = std::numeric_limits<std::size_t>::max();
+
+  struct FileState {
     std::vector<std::pair<std::size_t, std::size_t>> chunks;
-    std::vector<std::future<Acc>> futures;
+    std::vector<Acc> accs;                  ///< one slot per chunk
+    std::atomic<std::size_t> remaining{0};  ///< chunks still parsing
+    std::atomic<bool> failed{false};        ///< any chunk of this file threw
   };
-  std::vector<FileWork> work;
-  work.reserve(buffers.size());
-  for (const auto& buffer : buffers) {
-    const std::string_view text = buffer->text();
-    work.push_back(FileWork{
-        ChunkReader{text, opts},
-        line_chunks(text, chunk_target(text, opts.min_chunk_bytes, pool->size())),
-        {}});
-  }
-  for (auto& fw : work) {
-    fw.futures.reserve(fw.chunks.size());
-    for (const auto& [begin, end] : fw.chunks) {
-      fw.futures.push_back(pool->submit(
-          [&reader = fw.reader, begin = begin, end = end] { return reader.parse_chunk(begin, end); }));
+  std::deque<FileState> files;  // deque: FileState holds atomics (immovable)
+  std::atomic<std::size_t> files_remaining{0};
+  std::atomic<bool> done_fired{false};  ///< on_done runs exactly once
+
+  // Earliest failure in (file, chunk) input order.
+  mutable std::mutex err_mutex;
+  std::size_t err_file = std::numeric_limits<std::size_t>::max();
+  std::size_t err_chunk = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr err;
+
+  // join(): tasks_left counts every submitted chunk task.
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t tasks_left = 0;
+
+  void note_error(std::size_t f, std::size_t c, std::exception_ptr e) {
+    files[f].failed.store(true, std::memory_order_release);
+    std::lock_guard lock(err_mutex);
+    if (f < err_file || (f == err_file && c < err_chunk)) {
+      err_file = f;
+      err_chunk = c;
+      err = std::move(e);
     }
   }
 
-  // Await EVERY task before any exception may propagate (tasks
-  // reference the stack-held ChunkReaders); remember only the first
-  // failure in (file, chunk) order so propagation is deterministic.
-  std::vector<std::vector<Acc>> accs(work.size());
-  std::exception_ptr first_error;
-  for (std::size_t f = 0; f < work.size(); ++f) {
-    accs[f].reserve(work[f].futures.size());
-    for (auto& fut : work[f].futures) {
+  /// Body of one (file, chunk) task. Never throws: every failure is
+  /// recorded via note_error so propagation stays deterministic.
+  void run_chunk(std::size_t f, std::size_t c) {
+    FileState& fs = files[f];
+    try {
+      const ChunkReader reader{buffers[f]->text(), opts};
+      fs.accs[c] = reader.parse_chunk(fs.chunks[c].first, fs.chunks[c].second);
+    } catch (...) {
+      note_error(f, c, std::current_exception());
+    }
+    if (fs.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) file_done(f);
+  }
+
+  /// Runs on the pool thread that finished file f's last chunk: fold
+  /// left-to-right, finalize, hand the ReadResult downstream.
+  void file_done(std::size_t f) {
+    FileState& fs = files[f];
+    if (!fs.failed.load(std::memory_order_acquire)) {
       try {
-        accs[f].push_back(fut.get());
+        const ChunkReader reader{buffers[f]->text(), opts};
+        Acc acc;
+        for (auto& chunk_acc : fs.accs) {
+          acc = reader.fold(std::move(acc), std::move(chunk_acc));
+        }
+        // finalize_acc rethrows strict-mode parse errors — recorded
+        // below so the lowest-input-index contract covers them too.
+        ReadResult result = finalize_acc(std::move(acc), std::move(buffers[f]), opts);
+        if (on_file) on_file(f, std::move(result));
       } catch (...) {
-        if (!first_error) first_error = std::current_exception();
-        accs[f].emplace_back();
+        note_error(f, kFoldStage, std::current_exception());
+      }
+    }
+    // Chunk state is dead weight once the file settled; free it early.
+    fs.accs.clear();
+    fs.accs.shrink_to_fit();
+    if (files_remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      try {
+        fire_done();
+      } catch (...) {
+        note_error(f, kFoldStage, std::current_exception());
       }
     }
   }
-  if (first_error) std::rethrow_exception(first_error);
 
-  // Fold + finalize in input order; finalize_acc rethrows strict-mode
-  // errors, so the lowest failing input index wins there too.
-  std::vector<ReadResult> results;
-  results.reserve(buffers.size());
-  for (std::size_t f = 0; f < work.size(); ++f) {
-    const ChunkReader& reader = work[f].reader;
-    Acc acc;
-    for (auto& chunk_acc : accs[f]) {
-      acc = reader.fold(std::move(acc), std::move(chunk_acc));
-    }
-    results.push_back(finalize_acc(std::move(acc), std::move(buffers[f]), opts));
+  /// Invokes on_done at most once. Normally fired by the last settling
+  /// file; the submit-failure path fires it EARLY so a downstream
+  /// consumer (the pipeline's StageQueue close) can wake producers
+  /// blocked in push before anyone tries to join them.
+  void fire_done() {
+    if (on_done && !done_fired.exchange(true, std::memory_order_acq_rel)) on_done();
   }
+
+  void task_finished() {
+    std::lock_guard lock(done_mutex);
+    if (--tasks_left == 0) done_cv.notify_all();
+  }
+};
+
+StreamedParse::~StreamedParse() { join(); }
+
+StreamedParse& StreamedParse::operator=(StreamedParse&& other) noexcept {
+  if (this != &other) {
+    join();  // tasks of the replaced parse hold raw pointers into its state
+    state_ = std::move(other.state_);
+  }
+  return *this;
+}
+
+void StreamedParse::join() {
+  if (!state_) return;  // moved-from
+  std::unique_lock lock(state_->done_mutex);
+  state_->done_cv.wait(lock, [s = state_.get()] { return s->tasks_left == 0; });
+}
+
+std::optional<StreamedParse::Error> StreamedParse::error() const {
+  if (!state_) return std::nullopt;
+  std::lock_guard lock(state_->err_mutex);
+  if (!state_->err) return std::nullopt;
+  return Error{state_->err_file, state_->err};
+}
+
+void StreamedParse::wait() {
+  join();
+  if (const auto e = error()) std::rethrow_exception(e->error);
+}
+
+StreamedParse read_trace_buffers_streamed(std::vector<std::shared_ptr<TraceBuffer>> buffers,
+                                          const ParallelReadOptions& opts, FileReadyFn on_file_done,
+                                          std::function<void()> on_all_done) {
+  auto state = std::make_shared<StreamedParse::State>();
+  state->opts = opts;
+  state->buffers = std::move(buffers);
+  state->on_file = std::move(on_file_done);
+  state->on_done = std::move(on_all_done);
+  if (opts.pool != nullptr) {
+    state->pool = opts.pool;
+  } else {
+    state->local_pool.emplace(opts.threads);
+    state->pool = &*state->local_pool;
+  }
+
+  const std::size_t n = state->buffers.size();
+  state->files_remaining.store(n, std::memory_order_relaxed);
+  std::size_t total_chunks = 0;
+  for (std::size_t f = 0; f < n; ++f) {
+    auto& fs = state->files.emplace_back();
+    const std::string_view text = state->buffers[f]->text();
+    fs.chunks = line_chunks(text, chunk_target(text, opts.min_chunk_bytes, state->pool->size()));
+    // An empty file still settles through the normal path: one [0, 0)
+    // chunk parses to an empty accumulator and finalizes to an empty
+    // ReadResult, so on_file_done fires for it like for any other file.
+    if (fs.chunks.empty()) fs.chunks.emplace_back(0, 0);
+    fs.accs.resize(fs.chunks.size());
+    fs.remaining.store(fs.chunks.size(), std::memory_order_relaxed);
+    total_chunks += fs.chunks.size();
+  }
+  state->tasks_left = total_chunks;
+
+  if (n == 0) {
+    state->fire_done();  // nothing will ever settle
+    return StreamedParse(std::move(state));
+  }
+  std::size_t f = 0;
+  std::size_t c = 0;
+  auto* s = state.get();  // raw on purpose — see the State comment
+  try {
+    for (f = 0; f < n; ++f) {
+      for (c = 0; c < state->files[f].chunks.size(); ++c) {
+        (void)state->pool->submit([s, f, c] {
+          s->run_chunk(f, c);
+          s->task_finished();
+        });
+      }
+    }
+  } catch (...) {
+    // submit() failed (allocation, pool shut down). Fire on_done FIRST:
+    // a downstream consumer reacts by closing its hand-off queue, which
+    // wakes any worker already parked in a blocking push — otherwise
+    // running the rest inline (whose callbacks would push with nobody
+    // popping) and the join below could both wait forever. Then run the
+    // chunks that never made it onto the pool inline so every counter
+    // settles, and join the ones that did before the exception escapes.
+    try {
+      state->fire_done();
+    } catch (...) {
+      // the submit failure below is the error that matters
+    }
+    for (; f < n; ++f, c = 0) {
+      for (; c < state->files[f].chunks.size(); ++c) {
+        state->run_chunk(f, c);
+        state->task_finished();
+      }
+    }
+    StreamedParse cleanup(std::move(state));
+    cleanup.join();
+    throw;
+  }
+  return StreamedParse(std::move(state));
+}
+
+StreamedParse read_trace_files_streamed(const std::vector<std::string>& paths,
+                                        const ParallelReadOptions& opts, FileReadyFn on_file_done,
+                                        std::function<void()> on_all_done) {
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  buffers.reserve(paths.size());
+  for (const auto& path : paths) buffers.push_back(TraceBuffer::from_file_mmap(path));
+  return read_trace_buffers_streamed(std::move(buffers), opts, std::move(on_file_done),
+                                     std::move(on_all_done));
+}
+
+std::vector<ReadResult> read_trace_buffers_parallel(
+    std::vector<std::shared_ptr<TraceBuffer>> buffers, const ParallelReadOptions& opts) {
+  // Rebuilt on the streamed core: identical (buffer, chunk) work queue
+  // and per-file fold, but collected behind a barrier — the callback
+  // fills input-order slots and wait() rethrows the earliest failure.
+  const std::size_t n = buffers.size();
+  std::vector<ReadResult> results(n);
+  auto handle = read_trace_buffers_streamed(
+      std::move(buffers), opts,
+      [&results](std::size_t i, ReadResult&& r) { results[i] = std::move(r); });
+  handle.wait();
   return results;
 }
 

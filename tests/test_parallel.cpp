@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 #include "parallel/thread_pool.hpp"
 
@@ -58,6 +60,40 @@ TEST(ThreadPool, SizeReflectsWorkers) {
 TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
   ThreadPool pool(0);
   EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, PendingTasksAreDiscardedAtDestruction) {
+  // Shutdown-ordering regression (streaming pipeline): destroying the
+  // pool must NOT run continuations that never started — they may
+  // reference state (arenas, an unwinding caller's stack) that their
+  // submitter already destroyed. The single worker is parked on a gate
+  // while the destructor discards the whole queue, so none of the
+  // pending tasks may ever run; their futures report broken_promise.
+  std::promise<void> gate;
+  auto gate_future = gate.get_future().share();
+  std::promise<void> started;
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> pending;
+  {
+    ThreadPool pool(1);
+    (void)pool.submit([gate_future, &started] {
+      started.set_value();
+      gate_future.wait();
+    });
+    started.get_future().wait();  // the worker is now parked on the gate
+    for (int i = 0; i < 64; ++i) {
+      pending.push_back(pool.submit([&ran] { ran.fetch_add(1); }));
+    }
+    // Opens the gate well after ~ThreadPool has cleared the queue (the
+    // destructor's first action, taken while the worker still blocks).
+    std::thread release([&gate] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+      gate.set_value();
+    });
+    release.detach();
+  }  // ~ThreadPool: discard 64 pending tasks, join the parked worker
+  EXPECT_EQ(ran.load(), 0);
+  for (auto& f : pending) EXPECT_THROW(f.get(), std::future_error);
 }
 
 TEST(ParallelFor, CoversEveryIndexOnce) {

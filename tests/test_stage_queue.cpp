@@ -1,0 +1,202 @@
+// StageQueue: the bounded MPMC hand-off between pipeline stages.
+// Covers the contract the streaming pipeline depends on:
+//   - bounded capacity gives real backpressure (full queue blocks
+//     push, try_push refuses),
+//   - items from one producer come out in that producer's push order,
+//   - close(error) propagates a producer-side exception to every pop
+//     after the drain,
+//   - driven by a 1-worker pool the whole pipeline degenerates to
+//     strict serial order.
+#include "parallel/stage_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace st {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(StageQueue, PushPopRoundTrip) {
+  StageQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(StageQueue, CapacityIsAtLeastOne) {
+  StageQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.try_push(7));
+  EXPECT_FALSE(q.try_push(8));  // full
+}
+
+TEST(StageQueue, TryPushRefusesWhenFull) {
+  StageQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_TRUE(q.try_push(3));  // space again after a pop
+}
+
+TEST(StageQueue, FullQueueBlocksPushUntilPop) {
+  StageQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(q.push(2));  // must block: capacity 1, queue full
+    second_pushed.store(true);
+  });
+  // The producer cannot finish while the queue is full.
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(second_pushed.load());
+  EXPECT_EQ(q.size(), 1u);  // backpressure: never over capacity
+
+  EXPECT_EQ(q.pop(), 1);  // makes room; the blocked push completes
+  EXPECT_EQ(q.pop(), 2);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+}
+
+TEST(StageQueue, SizeNeverExceedsCapacityUnderContention) {
+  StageQueue<int> q(3);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < 100; ++i) (void)q.push(p * 100 + i);
+    });
+  }
+  std::size_t popped = 0;
+  while (popped < 400) {
+    EXPECT_LE(q.size(), 3u);
+    if (q.pop()) ++popped;
+  }
+  for (auto& t : producers) t.join();
+}
+
+TEST(StageQueue, FifoPerProducer) {
+  constexpr int kProducers = 4;
+  constexpr int kItems = 200;
+  StageQueue<std::pair<int, int>> q(8);  // (producer, sequence)
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kItems; ++i) ASSERT_TRUE(q.push({p, i}));
+    });
+  }
+  std::map<int, int> next;  // producer -> expected next sequence
+  for (int n = 0; n < kProducers * kItems; ++n) {
+    const auto item = q.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(item->second, next[item->first])
+        << "producer " << item->first << " out of order";
+    ++next[item->first];
+  }
+  for (auto& t : producers) t.join();
+  for (const auto& [p, n] : next) EXPECT_EQ(n, kItems) << "producer " << p;
+}
+
+TEST(StageQueue, CloseDrainsThenEnds) {
+  StageQueue<int> q(4);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  // Pending items drain first; only then does pop report the close.
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), std::nullopt);
+  EXPECT_EQ(q.pop(), std::nullopt);  // stays ended
+}
+
+TEST(StageQueue, PushAfterCloseIsRefused) {
+  StageQueue<int> q(4);
+  q.close();
+  EXPECT_FALSE(q.push(1));
+  EXPECT_FALSE(q.try_push(2));
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(StageQueue, CloseWakesBlockedProducer) {
+  StageQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> refused{false};
+  std::thread producer([&] {
+    refused.store(!q.push(2));  // blocks on the full queue until close()
+  });
+  std::this_thread::sleep_for(20ms);
+  q.close();
+  producer.join();
+  EXPECT_TRUE(refused.load());
+  EXPECT_EQ(q.pop(), 1);  // the item pushed before the close survives
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(StageQueue, CloseErrorPropagatesAfterDrain) {
+  StageQueue<int> q(4);
+  ASSERT_TRUE(q.push(41));
+  q.close(std::make_exception_ptr(std::runtime_error("stage A failed")));
+  // The item pushed before the failure still drains...
+  EXPECT_EQ(q.pop(), 41);
+  // ...then every pop rethrows the producer's exception.
+  for (int i = 0; i < 2; ++i) {
+    try {
+      (void)q.pop();
+      FAIL() << "expected the close error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "stage A failed");
+    }
+  }
+}
+
+TEST(StageQueue, CloseErrorWakesBlockedConsumer) {
+  StageQueue<int> q(2);
+  std::thread producer([&q] {
+    std::this_thread::sleep_for(20ms);
+    q.close(std::make_exception_ptr(std::runtime_error("boom")));
+  });
+  EXPECT_THROW((void)q.pop(), std::runtime_error);  // blocked, then poisoned
+  producer.join();
+}
+
+TEST(StageQueue, FirstCloseWins) {
+  StageQueue<int> q(2);
+  q.close();  // clean close first
+  q.close(std::make_exception_ptr(std::runtime_error("late error")));
+  EXPECT_EQ(q.pop(), std::nullopt);  // the late error close was ignored
+}
+
+TEST(StageQueue, OneWorkerPoolDegeneratesToSerialOrder) {
+  // Producers running on a 1-worker pool execute one after another, so
+  // the queue must deliver the EXACT submission order — the pipeline's
+  // "1 worker == sequential build" guarantee rests on this.
+  constexpr int kTasks = 100;
+  StageQueue<int> q(4);
+  ThreadPool pool(1);
+  std::vector<std::future<void>> tasks;
+  tasks.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    tasks.push_back(pool.submit([&q, i] { ASSERT_TRUE(q.push(i)); }));
+  }
+  for (int i = 0; i < kTasks; ++i) {
+    const auto item = q.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  for (auto& t : tasks) t.get();
+}
+
+}  // namespace
+}  // namespace st
