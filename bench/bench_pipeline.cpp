@@ -1,8 +1,11 @@
 // CPLX-MAP — the mapping application is O(n) and row-independent
 // (Sec. V step 2), plus an end-to-end pipeline benchmark covering
-// Fig. 6's steps: filter -> map -> DFG -> statistics, and the
+// Fig. 6's steps: filter -> map -> DFG -> statistics, the
 // staged-vs-streamed trace -> EventLog -> DFG comparison feeding
-// BENCH_pipeline.json's pipeline_overlap_speedup_vs_staged.
+// BENCH_pipeline.json's pipeline_overlap_speedup_vs_staged, and the
+// multi-sink comparison (one pipeline::run pass folding DFG + case
+// stats + variants vs the same analytics as N staged passes) feeding
+// multi_sink_single_pass_speedup_vs_staged.
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
@@ -17,9 +20,11 @@
 #include "dfg/builder.hpp"
 #include "dfg/stats.hpp"
 #include "model/activity_log.hpp"
+#include "model/case_stats.hpp"
 #include "model/from_strace.hpp"
 #include "parallel/algorithms.hpp"
 #include "parallel/thread_pool.hpp"
+#include "pipeline/sink.hpp"
 #include "pipeline/stream.hpp"
 #include "strace/filename.hpp"
 #include "strace/reader.hpp"
@@ -225,6 +230,56 @@ void BM_PipelineStreamed(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(traces));
 }
 BENCHMARK(BM_PipelineStreamed)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// ---- multi-sink single pass vs N staged analytic passes ----------------
+
+/// The pre-sink workflow: ingest the log (streaming pipeline, the best
+/// ingest-only path), THEN walk the event arrays once per analytic —
+/// graph, case summaries, variant multiset — behind the ingestion
+/// barrier. Baseline for multi_sink_single_pass_speedup_vs_staged.
+void BM_MultiSinkStaged(benchmark::State& state) {
+  const auto& paths = TraceCorpus::paths();
+  const auto f = model::Mapping::call_top_dirs(2);
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t traces = 0;
+  for (auto _ : state) {
+    const auto log = pipeline::event_log_streamed(paths, pool);  // barrier
+    const auto g = dfg::build_parallel(log, f, pool);            // pass 1
+    const auto summaries = model::summarize_cases(log, pool);    // pass 2
+    const auto variants = model::ActivityLog::build(log, f).variants();  // pass 3
+    traces += g.trace_count();
+    benchmark::DoNotOptimize(g);
+    benchmark::DoNotOptimize(summaries);
+    benchmark::DoNotOptimize(variants);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(traces));
+}
+BENCHMARK(BM_MultiSinkStaged)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// One pipeline::run pass: the same three analytics fold on the pool
+/// while the files parse — no barrier, no re-walks.
+void BM_MultiSinkSinglePass(benchmark::State& state) {
+  const auto& paths = TraceCorpus::paths();
+  const auto f = model::Mapping::call_top_dirs(2);
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t traces = 0;
+  for (auto _ : state) {
+    pipeline::DfgSink graph_sink(f);
+    pipeline::CaseStatsSink stats_sink;
+    pipeline::VariantsSink variants_sink(f);
+    const auto log =
+        pipeline::run(paths, pool, {&graph_sink, &stats_sink, &variants_sink});
+    traces += graph_sink.graph().trace_count();
+    benchmark::DoNotOptimize(log);
+    benchmark::DoNotOptimize(graph_sink);
+    benchmark::DoNotOptimize(stats_sink);
+    benchmark::DoNotOptimize(variants_sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(traces));
+}
+BENCHMARK(BM_MultiSinkSinglePass)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

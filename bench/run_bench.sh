@@ -74,6 +74,12 @@ trap 'rm -f "$parse_raw" "$pipeline_raw"' EXIT
 #         the ceiling on a 1-CPU box>,
 #     "pipeline_overlap_speedup_by_workers": {"1": .., "2": .., "4": ..},
 #     "pipeline_scaling": {"staged": {...}, "streamed": {...}}  (items/s),
+#     "multi_sink_single_pass_speedup_vs_staged": <best ratio of ONE
+#         pipeline::run pass folding DFG + case stats + variants sinks
+#         over the staged workflow (streamed ingest barrier, then three
+#         separate analytic passes) across worker counts>,
+#     "multi_sink_speedup_by_workers": {"1": .., "2": .., "4": ..},
+#     "multi_sink_scaling": {"staged": {...}, "single_pass": {...}}  (items/s),
 #     "current": <google-benchmark JSON of bench_pipeline>
 #   }
 python3 - "$pipeline_raw" "$out_dir/BENCH_pipeline.json" <<'EOF'
@@ -96,21 +102,34 @@ def scaling(prefix):
             points[str(w)] = round(ips)
     return points
 
+def ratios(fast, slow):
+    return {w: round(fast[w] / slow[w], 2)
+            for w in fast if w in slow and slow[w]}
+
 staged = scaling("BM_PipelineStaged")
 streamed = scaling("BM_PipelineStreamed")
-by_workers = {w: round(streamed[w] / staged[w], 2)
-              for w in streamed if w in staged and staged[w]}
+by_workers = ratios(streamed, staged)
 best = max(by_workers.values()) if by_workers else None
+
+sink_staged = scaling("BM_MultiSinkStaged")
+sink_single = scaling("BM_MultiSinkSinglePass")
+sink_by_workers = ratios(sink_single, sink_staged)
+sink_best = max(sink_by_workers.values()) if sink_by_workers else None
 
 out = {
     "pipeline_overlap_speedup_vs_staged": best,
     "pipeline_overlap_speedup_by_workers": by_workers,
     "pipeline_scaling": {"staged": staged, "streamed": streamed},
+    "multi_sink_single_pass_speedup_vs_staged": sink_best,
+    "multi_sink_speedup_by_workers": sink_by_workers,
+    "multi_sink_scaling": {"staged": sink_staged, "single_pass": sink_single},
     "current": current,
 }
 json.dump(out, open(sys.argv[2], "w"), indent=1)
 print(f"wrote {sys.argv[2]} (pipeline_overlap_speedup_vs_staged = {best}x, "
-      f"by_workers = {by_workers})")
+      f"by_workers = {by_workers}, "
+      f"multi_sink_single_pass_speedup_vs_staged = {sink_best}x, "
+      f"multi_sink_by_workers = {sink_by_workers})")
 EOF
 
 python3 - "$parse_raw" "$repo_root/bench/baseline_seed.json" "$out_dir/BENCH_parse.json" <<'EOF'

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Sibling of run_sanitize.sh: builds the ThreadSanitizer preset and
+# race-checks the concurrency-dense handoff code — the StageQueue /
+# ThreadPool pipeline (test_stage_queue, test_pipeline_stream,
+# test_pipeline_sinks). ASan proves the pipeline's lifetime story;
+# this proves its synchronization story. CI runs the same selection in
+# the tsan job.
+#
+#   bench/run_tsan.sh [build-dir]
+#
+# Requires a compiler with -fsanitize=thread (gcc/clang).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-tsan}"
+
+cmake -S "$repo_root" -B "$build_dir" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build "$build_dir" -j "$(nproc)" \
+  --target test_stage_queue test_pipeline_stream test_pipeline_sinks
+
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  ctest --test-dir "$build_dir" \
+  -R 'test_stage_queue|test_pipeline_stream|test_pipeline_sinks' \
+  --output-on-failure
+
+echo "tsan suite passed"

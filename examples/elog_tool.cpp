@@ -5,9 +5,13 @@
 //   ./elog_tool filter out.elog in.elog --fp /p/scratch --calls read,write
 //   ./elog_tool export in.elog --map site1         # stats CSV to stdout
 //   ./elog_tool import out.elog a_host1_9042.st... # strace -> elog
+//   ./elog_tool import out.elog a_host1_9042.st... --stream-report r.html
+//                       # same single pass also folds the HTML report
 #include <algorithm>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <utility>
 
 #include "dfg/export.hpp"
 #include "dfg/stats.hpp"
@@ -17,6 +21,7 @@
 #include "model/query.hpp"
 #include "parallel/thread_pool.hpp"
 #include "pipeline/stream.hpp"
+#include "report/report.hpp"
 #include "support/cli.hpp"
 #include "support/errors.hpp"
 #include "support/strings.hpp"
@@ -49,6 +54,10 @@ int main(int argc, char** argv) {
   cli.add_flag("calls", "filter: comma-separated call families", std::nullopt);
   cli.add_flag("map", "mapping for export: top2|last2|call|site|site1", "site");
   cli.add_flag("threads", "ingestion worker threads for import (0 = hardware)", "0");
+  cli.add_flag("stream-report",
+               "import: also write a single-pass HTML report (DFG + case table + variants, "
+               "folded in the same streamed pass that fills the elog) to this file",
+               std::nullopt);
   try {
     cli.parse(argc, argv);
     const auto& args = cli.positional();
@@ -90,7 +99,22 @@ int main(int argc, char** argv) {
       if (args.size() < 3) throw ParseError("import takes an output and >= 1 trace files");
       const std::vector<std::string> files(args.begin() + 2, args.end());
       ThreadPool pool(thread_count(cli));
-      const auto log = pipeline::event_log_streamed(files, pool);
+      model::EventLog log;
+      if (cli.has("stream-report")) {
+        // One streamed pass produces BOTH artifacts: the elog container
+        // and the HTML report's graph/case-table/variants sinks.
+        auto result =
+            report::streaming_report(files, mapping_for(cli.get("map")), pool);
+        const std::string& report_path = cli.get("stream-report");
+        std::ofstream out(report_path, std::ios::trunc);
+        if (!out || !(out << result.html)) {
+          throw IoError("cannot write report file: " + report_path);
+        }
+        log = std::move(result.log);
+        std::cout << "wrote single-pass report to " << report_path << "\n";
+      } else {
+        log = pipeline::event_log_streamed(files, pool);
+      }
       for (const auto& w : log.warnings()) std::cerr << "warning: " << w << "\n";
       elog::write_event_log_file(args[1], log);
       std::cout << "imported " << files.size() << " trace files (" << log.total_events()

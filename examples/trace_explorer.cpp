@@ -62,11 +62,46 @@ int main(int argc, char** argv) {
                std::nullopt);
   cli.add_flag("ranks", "annotate nodes with distinct rank counts", std::nullopt, true);
   cli.add_flag("threads", "ingestion worker threads (0 = hardware)", "0");
+  cli.add_flag("stream-report",
+               "single-pass HTML report straight from trace files (parse, DFG, case table and "
+               "variants fold on one pool; overrides --render)",
+               std::nullopt, true);
   try {
     cli.parse(argc, argv);
 
     // -- load --------------------------------------------------------
     const auto f = make_mapping(cli.get("map"));
+
+    if (cli.get_bool("stream-report")) {
+      // One streamed pass: DfgSink + CaseStatsSink + VariantsSink fold
+      // while the trace files parse — no ingestion barrier, no
+      // per-analytic re-walks of the event arrays.
+      if (cli.positional().empty() ||
+          (cli.positional().size() == 1 && cli.positional()[0].ends_with(".elog"))) {
+        throw ParseError("--stream-report needs cid_host_rid.st trace files");
+      }
+      if (cli.has("filter")) {
+        // The streaming report covers the whole trace by design; a
+        // silently unfiltered report would be worse than an error.
+        throw ParseError("--stream-report reports on ALL events; drop --filter (use --render "
+                         "report for a filtered staged report)");
+      }
+      ThreadPool pool(thread_count(cli));
+      report::ReportOptions report_opts;
+      report_opts.title = "trace_explorer report";
+      report_opts.description = "single-pass streaming report, mapping: " + f.name();
+      if (cli.has("timeline")) {
+        std::string activity = cli.get("timeline");
+        if (const auto pos = activity.find("\\n"); pos != std::string::npos) {
+          activity.replace(pos, 2, "\n");
+        }
+        report_opts.timeline_activity = std::move(activity);
+      }
+      const auto result = report::streaming_report(cli.positional(), f, pool, report_opts);
+      for (const auto& w : result.log.warnings()) std::cerr << "warning: " << w << "\n";
+      std::cout << result.html;
+      return 0;
+    }
     model::EventLog log;
     std::optional<dfg::Dfg> streamed_graph;
     if (cli.positional().empty()) {

@@ -1,23 +1,50 @@
 #include "model/activity_log.hpp"
 
+#include <utility>
+
 namespace st::model {
+
+ActivityTrace activity_trace(const Case& c, const Mapping& f) {
+  ActivityTrace trace;
+  trace.reserve(c.size());
+  for (const Event& e : c.events()) {
+    if (auto a = f(e)) trace.push_back(std::move(*a));
+  }
+  return trace;
+}
+
+void merge_variant_counts(VariantCounts& to, VariantCounts&& from) {
+  if (to.empty()) {
+    to = std::move(from);
+    return;
+  }
+  while (!from.empty()) {
+    auto node = from.extract(from.begin());
+    const auto result = to.insert(std::move(node));
+    if (!result.inserted) result.position->second += result.node.mapped();
+  }
+}
+
+void ActivityLog::add_case(const Case& c, const Mapping& f) {
+  ActivityTrace trace = activity_trace(c, f);
+  for (const Activity& a : trace) activities_.insert(a);
+  total_instances_ += trace.size();
+  per_case_.emplace(c.id(), trace);
+  ++variants_[std::move(trace)];
+  ++case_count_;
+}
+
+void ActivityLog::merge(ActivityLog&& other) {
+  merge_variant_counts(variants_, std::move(other.variants_));
+  per_case_.merge(std::move(other.per_case_));  // first-wins, like emplace
+  activities_.merge(std::move(other.activities_));
+  case_count_ += other.case_count_;
+  total_instances_ += other.total_instances_;
+}
 
 ActivityLog ActivityLog::build(const EventLog& log, const Mapping& f) {
   ActivityLog out;
-  for (const Case& c : log.cases()) {
-    ActivityTrace trace;
-    trace.reserve(c.size());
-    for (const Event& e : c.events()) {
-      if (auto a = f(e)) {
-        out.activities_.insert(*a);
-        trace.push_back(std::move(*a));
-      }
-    }
-    out.total_instances_ += trace.size();
-    out.per_case_.emplace(c.id(), trace);
-    ++out.variants_[std::move(trace)];
-    ++out.case_count_;
-  }
+  for (const Case& c : log.cases()) out.add_case(c, f);
   return out;
 }
 

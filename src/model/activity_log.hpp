@@ -24,6 +24,22 @@ namespace st::model {
 
 using ActivityTrace = std::vector<Activity>;
 
+/// The variant multiset of an activity log: distinct traces with their
+/// multiplicities (the ⟨a,a,b⟩² notation). Shared by ActivityLog, the
+/// variant diff (model/variants.hpp) and the streaming VariantsSink.
+using VariantCounts = std::map<ActivityTrace, std::size_t>;
+
+/// σ_f(c): one case's activity trace — every mapped activity, in event
+/// order (f is partial; unmapped events are skipped). The single
+/// definition ActivityLog::add_case and the streaming VariantsSink
+/// both build from, so their variant multisets cannot drift apart.
+[[nodiscard]] ActivityTrace activity_trace(const Case& c, const Mapping& f);
+
+/// Folds `from` into `to` (multiplicities add) by moving map nodes —
+/// the trace keys of the consumed map are never copied. Shared by
+/// ActivityLog::merge and the streaming VariantsSink.
+void merge_variant_counts(VariantCounts& to, VariantCounts&& from);
+
 class ActivityLog {
  public:
   ActivityLog() = default;
@@ -33,9 +49,22 @@ class ActivityLog {
   /// variant reports unmapped cases.
   static ActivityLog build(const EventLog& log, const Mapping& f);
 
+  /// Folds one case's activity trace in — the per-case unit step
+  /// build() iterates and the streaming pipeline's ActivityLogSink
+  /// folds on pool threads (into private partials; ActivityLog itself
+  /// is not thread-safe).
+  void add_case(const Case& c, const Mapping& f);
+
+  /// Monoid merge: multiplicities add, per-case traces and the
+  /// activity set union. Folding per-case partials in input order
+  /// produces exactly build()'s result (all containers are ordered, so
+  /// the merge is order-insensitive up to duplicate CaseIds, where the
+  /// first merged trace wins — matching build()'s first-wins emplace).
+  void merge(ActivityLog&& other);
+
   /// Distinct traces with multiplicities, deterministically ordered
   /// (lexicographic by trace). Σ multiplicities == case count.
-  [[nodiscard]] const std::map<ActivityTrace, std::size_t>& variants() const { return variants_; }
+  [[nodiscard]] const VariantCounts& variants() const { return variants_; }
 
   /// Trace of one case, in event order.
   [[nodiscard]] const std::map<CaseId, ActivityTrace>& per_case() const { return per_case_; }
@@ -47,7 +76,7 @@ class ActivityLog {
   [[nodiscard]] std::size_t total_activity_instances() const { return total_instances_; }
 
  private:
-  std::map<ActivityTrace, std::size_t> variants_;
+  VariantCounts variants_;
   std::map<CaseId, ActivityTrace> per_case_;
   std::set<Activity> activities_;
   std::size_t case_count_ = 0;

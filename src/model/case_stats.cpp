@@ -32,18 +32,40 @@ CaseSummary summarize_case(const Case& c) {
   return s;
 }
 
+void CaseSummaries::merge(CaseSummaries&& other) {
+  if (summaries.empty()) {
+    summaries = std::move(other.summaries);
+    return;
+  }
+  summaries.insert(summaries.end(), std::make_move_iterator(other.summaries.begin()),
+                   std::make_move_iterator(other.summaries.end()));
+}
+
 std::vector<CaseSummary> summarize_cases(const EventLog& log) {
-  std::vector<CaseSummary> out;
-  out.reserve(log.case_count());
-  for (const Case& c : log.cases()) out.push_back(summarize_case(c));
-  return out;
+  CaseSummaries acc;
+  acc.summaries.reserve(log.case_count());
+  for (const Case& c : log.cases()) acc.add(c);
+  return std::move(acc.summaries);
 }
 
 std::vector<CaseSummary> summarize_cases(const EventLog& log, ThreadPool& pool) {
   const std::span<const Case> cases = log.cases();
-  std::vector<CaseSummary> out(cases.size());
-  parallel_for(pool, 0, cases.size(), [&](std::size_t i) { out[i] = summarize_case(cases[i]); });
-  return out;
+  // Chunked map-reduce over the CaseSummaries monoid: chunks fold
+  // left-to-right, so the output order is the case order — identical
+  // to the serial overload.
+  CaseSummaries acc = map_reduce(
+      pool, cases.size(), CaseSummaries{},
+      [&cases](std::size_t lo, std::size_t hi) {
+        CaseSummaries partial;
+        partial.summaries.reserve(hi - lo);
+        for (std::size_t i = lo; i < hi; ++i) partial.add(cases[i]);
+        return partial;
+      },
+      [](CaseSummaries a, CaseSummaries b) {
+        a.merge(std::move(b));
+        return a;
+      });
+  return std::move(acc.summaries);
 }
 
 std::string render_case_summaries(const std::vector<CaseSummary>& summaries) {

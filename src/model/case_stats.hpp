@@ -27,16 +27,36 @@ struct CaseSummary {
   Micros last_end = 0;
 
   [[nodiscard]] Micros span() const { return last_end - first_start; }
+
+  /// All-integer content, so equality is exact — the streaming sink's
+  /// byte-identity contract with the staged overloads rests on it.
+  [[nodiscard]] bool operator==(const CaseSummary&) const = default;
 };
 
 /// Summary of one case.
 [[nodiscard]] CaseSummary summarize_case(const Case& c);
 
+/// Monoid-shaped accumulator of case summaries: the per-case
+/// summarize + input-order merge core every consumer — the serial
+/// overload, the pooled map-reduce overload and the streaming
+/// pipeline's CaseStatsSink — is built from. Summaries appear in
+/// add()/merge() call order, so folding cases in input order
+/// reproduces the serial summarize_cases byte for byte.
+struct CaseSummaries {
+  std::vector<CaseSummary> summaries;
+
+  void add(const Case& c) { summaries.push_back(summarize_case(c)); }
+
+  /// Appends `other`'s summaries after this one's (associative; the
+  /// empty CaseSummaries is the identity).
+  void merge(CaseSummaries&& other);
+};
+
 /// One summary per case, in the log's case order.
 [[nodiscard]] std::vector<CaseSummary> summarize_cases(const EventLog& log);
 
 /// Same summaries in the same order, with per-case work fanned out
-/// over `pool`.
+/// over `pool` (chunked map-reduce over the CaseSummaries monoid).
 [[nodiscard]] std::vector<CaseSummary> summarize_cases(const EventLog& log, ThreadPool& pool);
 
 /// Text table of the summaries (deterministic; one row per case).

@@ -92,12 +92,16 @@ bool Query::matches_case(const Case& c) const {
   return true;
 }
 
+std::optional<Case> Query::apply_case(const Case& c) const {
+  if (!matches_case(c)) return std::nullopt;
+  return c.filtered([this](const Event& e) { return matches(e); });
+}
+
 EventLog Query::apply(const EventLog& log) const {
   EventLog out;
   out.adopt_owners_of(log);  // the view keeps the source's strings alive
   for (const Case& c : log.cases()) {
-    if (!matches_case(c)) continue;
-    out.add_case(c.filtered([this](const Event& e) { return matches(e); }));
+    if (auto filtered = apply_case(c)) out.add_case(std::move(*filtered));
   }
   return out;
 }
@@ -110,10 +114,7 @@ EventLog Query::apply(const EventLog& log, ThreadPool& pool) const {
   // case-level restrictions drop. Collecting in input order afterwards
   // reproduces the serial apply() byte for byte.
   std::vector<std::optional<Case>> kept(cases.size());
-  parallel_for(pool, 0, cases.size(), [&](std::size_t i) {
-    if (!matches_case(cases[i])) return;
-    kept[i] = cases[i].filtered([this](const Event& e) { return matches(e); });
-  });
+  parallel_for(pool, 0, cases.size(), [&](std::size_t i) { kept[i] = apply_case(cases[i]); });
   for (auto& k : kept) {
     if (k) out.add_case(std::move(*k));
   }

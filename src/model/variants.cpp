@@ -23,20 +23,24 @@ double VariantDiff::green_coverage() const { return coverage(common, green_only,
 
 double VariantDiff::red_coverage() const { return coverage(common, red_only, false); }
 
-VariantDiff compare_variants(const ActivityLog& green, const ActivityLog& red) {
+VariantDiff compare_variant_counts(const VariantCounts& green, const VariantCounts& red) {
   VariantDiff diff;
-  for (const auto& [trace, count] : green.variants()) {
-    const auto it = red.variants().find(trace);
-    if (it == red.variants().end()) {
+  for (const auto& [trace, count] : green) {
+    const auto it = red.find(trace);
+    if (it == red.end()) {
       diff.green_only.emplace(trace, count);
     } else {
       diff.common.emplace(trace, std::make_pair(count, it->second));
     }
   }
-  for (const auto& [trace, count] : red.variants()) {
-    if (!green.variants().contains(trace)) diff.red_only.emplace(trace, count);
+  for (const auto& [trace, count] : red) {
+    if (!green.contains(trace)) diff.red_only.emplace(trace, count);
   }
   return diff;
+}
+
+VariantDiff compare_variants(const ActivityLog& green, const ActivityLog& red) {
+  return compare_variant_counts(green.variants(), red.variants());
 }
 
 }  // namespace st::model

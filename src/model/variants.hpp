@@ -34,6 +34,12 @@ struct VariantDiff {
   [[nodiscard]] double red_coverage() const;
 };
 
+/// Core of the comparison: works on the bare variant multisets, so a
+/// streaming VariantsSink's output can be diffed without materializing
+/// full ActivityLogs. compare_variants is a thin wrapper over this.
+[[nodiscard]] VariantDiff compare_variant_counts(const VariantCounts& green,
+                                                 const VariantCounts& red);
+
 [[nodiscard]] VariantDiff compare_variants(const ActivityLog& green, const ActivityLog& red);
 
 }  // namespace st::model

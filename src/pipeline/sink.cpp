@@ -1,0 +1,302 @@
+#include "pipeline/sink.hpp"
+
+#include <cstddef>
+#include <exception>
+#include <future>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "dfg/builder.hpp"
+#include "model/from_strace.hpp"
+#include "parallel/stage_queue.hpp"
+#include "parallel/thread_pool.hpp"
+#include "strace/filename.hpp"
+#include "support/errors.hpp"
+
+namespace st::pipeline {
+
+namespace {
+
+/// Output of one file's convert task (stage B): the case, its string
+/// owners, and one folded partial per sink.
+struct Converted {
+  model::Case c;
+  std::shared_ptr<strace::StringArena> arena;  ///< the case's interned cid/host
+  std::shared_ptr<strace::TraceBuffer> buffer;  ///< the records' storage
+  std::vector<std::string> warnings;            ///< raw reader warnings
+  std::vector<std::unique_ptr<SinkPartial>> partials;  ///< one per sink, sink order
+};
+
+/// One parsed file travelling from stage A to stage B.
+struct Ready {
+  std::size_t index = 0;
+  strace::ReadResult result;
+};
+
+constexpr std::size_t kNoError = std::numeric_limits<std::size_t>::max();
+
+}  // namespace
+
+model::EventLog run(const std::vector<std::string>& paths, ThreadPool& pool,
+                    std::span<CaseSink* const> sinks, const StreamOptions& opts) {
+  // Validate every file name before any I/O: the error for a bad name
+  // is deterministic (first offender in input order) and cheap.
+  std::vector<strace::TraceFileId> ids;
+  ids.reserve(paths.size());
+  for (const auto& path : paths) {
+    auto id = strace::parse_trace_filename(path);
+    if (!id) throw ParseError("trace file name does not follow cid_host_rid.st: " + path);
+    ids.push_back(std::move(*id));
+  }
+  const std::size_t n = paths.size();
+
+  strace::ParallelReadOptions read_opts = opts;
+  read_opts.pool = &pool;
+
+  // Stage A -> B hand-off. The queue is shared_ptr-held because the
+  // callbacks run on pool threads; the handle's join() below ensures
+  // they are all gone before this frame unwinds either way.
+  const std::size_t capacity =
+      opts.queue_capacity != 0 ? opts.queue_capacity : 2 * pool.size();
+  auto queue = std::make_shared<StageQueue<Ready>>(capacity);
+
+  auto handle = strace::read_trace_files_streamed(
+      paths, read_opts,
+      [queue](std::size_t i, strace::ReadResult&& r) {
+        // push() blocks while the dispatcher is behind — backpressure
+        // on the parse stage. A false return (queue closed early by the
+        // unwind guard below) just drops the result of a failing run.
+        (void)queue->push(Ready{i, std::move(r)});
+      },
+      [queue] { queue->close(); });
+
+  // Close the queue on EVERY exit path. If this frame unwinds before
+  // the dispatcher loop drains the queue (allocation failure below),
+  // pool workers blocked in push() must wake BEFORE ~StreamedParse
+  // joins them — close() is what wakes them, and it is idempotent, so
+  // the normal path's on-all-done close makes this a no-op.
+  struct QueueCloser {
+    StageQueue<Ready>* q;
+    ~QueueCloser() { q->close(); }
+  } queue_closer{queue.get()};
+
+  // Dispatcher: the moment a file's parse finishes, its conversion —
+  // and every sink's fold of the resulting case — goes onto the same
+  // pool, so parse, convert and analytics overlap. `converted` is
+  // allocated HERE, before any conversion is dispatched: no throwing
+  // operation may sit between dispatch and the await loop, or the
+  // frame could unwind while tasks still point into `ids`/`sinks`.
+  std::vector<std::future<Converted>> futures(n);
+  std::vector<Converted> converted(n);
+  std::exception_ptr dispatch_error;
+  while (auto ready = queue->pop()) {
+    if (dispatch_error) continue;  // keep draining so stage A can finish
+    const std::size_t i = ready->index;
+    try {
+      futures[i] = pool.submit(
+          [sinks, id = &ids[i], result = std::move(ready->result)]() mutable {
+            Converted out;
+            // Small blocks: this arena holds exactly one case's
+            // interned cid/host, and a swarm of small trace files must
+            // not pin a 64 KiB block each.
+            out.arena = std::make_shared<strace::StringArena>(256);
+            out.c = model::case_from_records(*id, result.records, *out.arena);
+            out.warnings = std::move(result.warnings);
+            out.buffer = std::move(result.buffer);
+            out.partials.reserve(sinks.size());
+            const CaseContext ctx{out.c, out.arena, out.buffer};
+            for (CaseSink* sink : sinks) {
+              auto partial = sink->make_partial();
+              sink->fold(*partial, ctx);
+              out.partials.push_back(std::move(partial));
+            }
+            return out;
+          });
+    } catch (...) {
+      dispatch_error = std::current_exception();
+    }
+  }
+
+  // Queue closed: stage A has settled every file. Join the parse side,
+  // then await EVERY conversion before any exception may propagate —
+  // nothing may still reference ids/futures/sinks when this frame
+  // unwinds. A sink fold that threw surfaces here through its task's
+  // future, competing with parse errors under the same
+  // lowest-input-index-wins rule.
+  handle.join();
+  std::size_t err_index = kNoError;
+  std::exception_ptr err;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!futures[i].valid()) continue;  // parse failed or dispatch stopped
+    try {
+      converted[i] = futures[i].get();
+    } catch (...) {
+      if (i < err_index) {
+        err_index = i;
+        err = std::current_exception();
+      }
+    }
+  }
+  if (const auto parse_error = handle.error()) {
+    // A file either failed to parse or failed to convert, never both.
+    if (parse_error->file_index < err_index) {
+      err_index = parse_error->file_index;
+      err = parse_error->error;
+    }
+  }
+  if (!err && dispatch_error) err = dispatch_error;
+  if (err) std::rethrow_exception(err);  // before any merge: sinks stay empty
+
+  // Assembly, strictly in input order: case order, event order and
+  // warning order come out byte-identical to the staged path, and
+  // every sink's partials merge in the same order. Arenas and buffers
+  // are adopted before the log escapes (lifetime contract).
+  model::EventLog log;
+  std::string prefixed;  // reused "<path>: <warning>" buffer
+  for (std::size_t i = 0; i < n; ++i) {
+    Converted& cv = converted[i];
+    if (cv.arena) log.adopt(std::move(cv.arena));
+    log.add_case(std::move(cv.c));
+    if (cv.buffer) log.adopt(std::move(cv.buffer));
+    for (const auto& warning : cv.warnings) {
+      prefixed.clear();
+      prefixed.reserve(paths[i].size() + 2 + warning.size());
+      prefixed += paths[i];
+      prefixed += ": ";
+      prefixed += warning;
+      // A malformed region repeating the same defect floods the log
+      // with copies of one message; keep the first of each run.
+      if (!log.warnings().empty() && log.warnings().back() == prefixed) continue;
+      log.add_warning(prefixed);
+    }
+    for (std::size_t s = 0; s < sinks.size(); ++s) {
+      sinks[s]->merge(std::move(cv.partials[s]));
+    }
+  }
+  return log;
+}
+
+model::EventLog run(const std::vector<std::string>& paths, ThreadPool& pool,
+                    std::initializer_list<CaseSink*> sinks, const StreamOptions& opts) {
+  return run(paths, pool, std::span<CaseSink* const>(sinks.begin(), sinks.size()), opts);
+}
+
+// ---- DfgSink -----------------------------------------------------------
+
+namespace {
+struct DfgPartial final : SinkPartial {
+  dfg::Dfg graph;
+};
+}  // namespace
+
+std::unique_ptr<SinkPartial> DfgSink::make_partial() const {
+  return std::make_unique<DfgPartial>();
+}
+
+void DfgSink::fold(SinkPartial& p, const CaseContext& ctx) const {
+  dfg::add_case_trace(static_cast<DfgPartial&>(p).graph, ctx.c, *f_);
+}
+
+void DfgSink::merge(std::unique_ptr<SinkPartial> p) {
+  graph_.merge(static_cast<DfgPartial&>(*p).graph);
+}
+
+// ---- CaseStatsSink -----------------------------------------------------
+
+namespace {
+struct CaseStatsPartial final : SinkPartial {
+  model::CaseSummaries acc;
+};
+}  // namespace
+
+std::unique_ptr<SinkPartial> CaseStatsSink::make_partial() const {
+  return std::make_unique<CaseStatsPartial>();
+}
+
+void CaseStatsSink::fold(SinkPartial& p, const CaseContext& ctx) const {
+  static_cast<CaseStatsPartial&>(p).acc.add(ctx.c);
+}
+
+void CaseStatsSink::merge(std::unique_ptr<SinkPartial> p) {
+  acc_.merge(std::move(static_cast<CaseStatsPartial&>(*p).acc));
+}
+
+// ---- ActivityLogSink ---------------------------------------------------
+
+namespace {
+struct ActivityLogPartial final : SinkPartial {
+  model::ActivityLog log;
+};
+}  // namespace
+
+std::unique_ptr<SinkPartial> ActivityLogSink::make_partial() const {
+  return std::make_unique<ActivityLogPartial>();
+}
+
+void ActivityLogSink::fold(SinkPartial& p, const CaseContext& ctx) const {
+  static_cast<ActivityLogPartial&>(p).log.add_case(ctx.c, *f_);
+}
+
+void ActivityLogSink::merge(std::unique_ptr<SinkPartial> p) {
+  log_.merge(std::move(static_cast<ActivityLogPartial&>(*p).log));
+}
+
+// ---- VariantsSink ------------------------------------------------------
+
+namespace {
+struct VariantsPartial final : SinkPartial {
+  model::VariantCounts counts;
+};
+}  // namespace
+
+std::unique_ptr<SinkPartial> VariantsSink::make_partial() const {
+  return std::make_unique<VariantsPartial>();
+}
+
+void VariantsSink::fold(SinkPartial& p, const CaseContext& ctx) const {
+  // model::activity_trace is the same definition ActivityLog::add_case
+  // folds, so the multiset is byte-identical to
+  // ActivityLog::build(log, f).variants().
+  ++static_cast<VariantsPartial&>(p).counts[model::activity_trace(ctx.c, *f_)];
+}
+
+void VariantsSink::merge(std::unique_ptr<SinkPartial> p) {
+  model::merge_variant_counts(variants_, std::move(static_cast<VariantsPartial&>(*p).counts));
+}
+
+// ---- QuerySink ---------------------------------------------------------
+
+namespace {
+struct QueryPartial final : SinkPartial {
+  std::optional<model::Case> kept;  ///< nullopt: case-level restrictions drop it
+  std::shared_ptr<strace::StringArena> arena;
+  std::shared_ptr<strace::TraceBuffer> buffer;
+};
+}  // namespace
+
+std::unique_ptr<SinkPartial> QuerySink::make_partial() const {
+  return std::make_unique<QueryPartial>();
+}
+
+void QuerySink::fold(SinkPartial& p, const CaseContext& ctx) const {
+  auto& partial = static_cast<QueryPartial&>(p);
+  partial.kept = query_.apply_case(ctx.c);
+  if (partial.kept) {
+    // The filtered case's events still view into the source storage;
+    // the filtered log must own it independently of the primary log.
+    partial.arena = ctx.arena;
+    partial.buffer = ctx.buffer;
+  }
+}
+
+void QuerySink::merge(std::unique_ptr<SinkPartial> p) {
+  auto& partial = static_cast<QueryPartial&>(*p);
+  if (!partial.kept) return;
+  if (partial.arena) log_.adopt(std::move(partial.arena));
+  log_.add_case(std::move(*partial.kept));
+  if (partial.buffer) log_.adopt(std::move(partial.buffer));
+}
+
+}  // namespace st::pipeline

@@ -1,0 +1,235 @@
+// CaseSink: the composable consumer side of the streaming pipeline —
+// the abstraction that turns the PR 4 trace -> EventLog -> DFG chain
+// into the repo's analytics substrate. One streamed pass over the
+// trace bytes can now feed ANY set of analytics, instead of the DFG
+// alone: the graph build, per-case summaries, trace variants, a full
+// activity log and query pre-filtering all ride the same conversion
+// tasks on the same ThreadPool, where previously each of them was a
+// separate barrier-delimited walk over a fully materialized EventLog.
+//
+// A sink is monoid-shaped, mirroring the Dfg merge the DFG build has
+// always used (refs [24][25] of the paper):
+//
+//   make_partial()      a fresh accumulator, created per conversion
+//                       task on the pool thread running it;
+//   fold(partial, ctx)  folds one completed Case into that partial,
+//                       right where trace_to_dfg used to fold its
+//                       per-task Dfg — on the pool thread, overlapped
+//                       with parsing of later files. `const`: sinks
+//                       keep all mutable state in the partial, so
+//                       concurrent folds into distinct partials are
+//                       safe by construction;
+//   merge(partial)      input-order fold of the partials into the
+//                       sink's output, at assembly on the calling
+//                       thread — the same place (and order) the
+//                       pipeline assembles cases and warnings.
+//
+// Determinism contract (same as the PR 4 pipeline, asserted by
+// tests/test_pipeline_sinks.cpp): every sink's output is byte-identical
+// to its staged counterpart at any worker count and any queue
+// capacity, merge() runs strictly in input order, errors propagate
+// with lowest-input-index-wins (a sink fold that throws competes with
+// parse errors on input index), and NO merge() runs on a failing run —
+// a sink is either fully folded or still empty, never half-merged.
+// Lifetime: the per-task arena and TraceBuffer of a case reach fold()
+// through the context, so sinks whose output escapes the run
+// (QuerySink's filtered log) can adopt them; the run adopts them into
+// its primary EventLog before anything escapes either way.
+//
+// Usage — one pass, many analytics:
+//
+//   st::ThreadPool pool(8);
+//   st::pipeline::DfgSink graph(f);
+//   st::pipeline::CaseStatsSink stats;
+//   st::pipeline::VariantsSink variants(f);
+//   st::model::EventLog log =
+//       st::pipeline::run(paths, pool, {&graph, &stats, &variants});
+//   use(graph.take_graph(), stats.take_summaries(), variants.take_variants());
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dfg/dfg.hpp"
+#include "model/activity_log.hpp"
+#include "model/case_stats.hpp"
+#include "model/event_log.hpp"
+#include "model/mapping.hpp"
+#include "model/query.hpp"
+#include "strace/reader.hpp"
+
+namespace st {
+class ThreadPool;
+}  // namespace st
+
+namespace st::pipeline {
+
+struct StreamOptions : strace::ParallelReadOptions {
+  /// Capacity of the completion queue between the parse and convert
+  /// stages; 0 = 2x the pool size. Smaller values bound memory on huge
+  /// batches (parse stalls until conversion catches up — capacity 1 is
+  /// the maximal-backpressure degeneration and still byte-identical),
+  /// larger values decouple the stages further.
+  std::size_t queue_capacity = 0;
+};
+
+/// One sink's per-conversion-task accumulator. Sinks define their own
+/// derived type and downcast in fold()/merge().
+class SinkPartial {
+ public:
+  virtual ~SinkPartial() = default;
+};
+
+/// What fold() sees of one converted case, beyond the case itself: the
+/// owners of its string storage. `arena` holds the case's interned
+/// cid/host, `buffer` the parsed trace bytes its call/fp views point
+/// into (null for cases that did not come from a parsed buffer). Copy
+/// the shared_ptrs into the partial if the sink's output outlives the
+/// run with views intact.
+struct CaseContext {
+  const model::Case& c;
+  const std::shared_ptr<strace::StringArena>& arena;
+  const std::shared_ptr<strace::TraceBuffer>& buffer;
+};
+
+class CaseSink {
+ public:
+  virtual ~CaseSink() = default;
+
+  [[nodiscard]] virtual std::unique_ptr<SinkPartial> make_partial() const = 0;
+
+  /// Folds one case into `p`. Runs on a pool thread; must touch no
+  /// sink state outside `p`.
+  virtual void fold(SinkPartial& p, const CaseContext& ctx) const = 0;
+
+  /// Folds a task's partial into the sink's output. Called on the
+  /// thread running pipeline::run, strictly in input order, only on
+  /// successful runs.
+  virtual void merge(std::unique_ptr<SinkPartial> p) = 0;
+};
+
+/// Drives one streamed parse -> convert pass over `paths` and folds
+/// every completed Case into every sink, all on `pool` (the PR 4
+/// overlap: conversion and sink folds of early files run while later
+/// files still parse). Returns the assembled EventLog — byte-identical
+/// to the staged per-file build (case, event and warning order), with
+/// per-task arenas and TraceBuffers adopted before it escapes. File
+/// names must follow cid_host_rid.st (ParseError for the first
+/// offender, checked before any I/O); on any failure every task is
+/// awaited, the lowest-input-index error is rethrown and no sink sees
+/// a merge. `opts.pool` is ignored — `pool` is used.
+[[nodiscard]] model::EventLog run(const std::vector<std::string>& paths, ThreadPool& pool,
+                                  std::span<CaseSink* const> sinks,
+                                  const StreamOptions& opts = {});
+
+/// Brace-list convenience: run(paths, pool, {&graph, &stats}).
+[[nodiscard]] model::EventLog run(const std::vector<std::string>& paths, ThreadPool& pool,
+                                  std::initializer_list<CaseSink*> sinks,
+                                  const StreamOptions& opts = {});
+
+// ---- the analytics, re-expressed as sinks ------------------------------
+
+/// Per-case DFG construction (dfg::add_case_trace folded through the
+/// Dfg monoid). trace_to_dfg is a thin wrapper over run() with this
+/// sink; the result equals dfg::build_parallel / build_serial on the
+/// returned log. `f` must outlive the run.
+class DfgSink final : public CaseSink {
+ public:
+  explicit DfgSink(const model::Mapping& f) : f_(&f) {}
+
+  [[nodiscard]] std::unique_ptr<SinkPartial> make_partial() const override;
+  void fold(SinkPartial& p, const CaseContext& ctx) const override;
+  void merge(std::unique_ptr<SinkPartial> p) override;
+
+  [[nodiscard]] const dfg::Dfg& graph() const { return graph_; }
+  [[nodiscard]] dfg::Dfg take_graph() { return std::move(graph_); }
+
+ private:
+  const model::Mapping* f_;
+  dfg::Dfg graph_;
+};
+
+/// Per-case summaries (model/case_stats.hpp) in case order —
+/// byte-identical to summarize_cases on the returned log.
+class CaseStatsSink final : public CaseSink {
+ public:
+  [[nodiscard]] std::unique_ptr<SinkPartial> make_partial() const override;
+  void fold(SinkPartial& p, const CaseContext& ctx) const override;
+  void merge(std::unique_ptr<SinkPartial> p) override;
+
+  [[nodiscard]] const std::vector<model::CaseSummary>& summaries() const {
+    return acc_.summaries;
+  }
+  [[nodiscard]] std::vector<model::CaseSummary> take_summaries() {
+    return std::move(acc_.summaries);
+  }
+
+ private:
+  model::CaseSummaries acc_;
+};
+
+/// Full activity log L_f(C) — identical to ActivityLog::build on the
+/// returned log. `f` must outlive the run.
+class ActivityLogSink final : public CaseSink {
+ public:
+  explicit ActivityLogSink(const model::Mapping& f) : f_(&f) {}
+
+  [[nodiscard]] std::unique_ptr<SinkPartial> make_partial() const override;
+  void fold(SinkPartial& p, const CaseContext& ctx) const override;
+  void merge(std::unique_ptr<SinkPartial> p) override;
+
+  [[nodiscard]] const model::ActivityLog& log() const { return log_; }
+  [[nodiscard]] model::ActivityLog take_log() { return std::move(log_); }
+
+ private:
+  const model::Mapping* f_;
+  model::ActivityLog log_;
+};
+
+/// Just the variant multiset — byte-identical to
+/// ActivityLog::build(log, f).variants(), without carrying per-case
+/// traces when only the multiplicities matter. `f` must outlive the run.
+class VariantsSink final : public CaseSink {
+ public:
+  explicit VariantsSink(const model::Mapping& f) : f_(&f) {}
+
+  [[nodiscard]] std::unique_ptr<SinkPartial> make_partial() const override;
+  void fold(SinkPartial& p, const CaseContext& ctx) const override;
+  void merge(std::unique_ptr<SinkPartial> p) override;
+
+  [[nodiscard]] const model::VariantCounts& variants() const { return variants_; }
+  [[nodiscard]] model::VariantCounts take_variants() { return std::move(variants_); }
+
+ private:
+  const model::Mapping* f_;
+  model::VariantCounts variants_;
+};
+
+/// Streaming pre-filter: applies a Query (its precompiled flat
+/// call-family set does a binary search per event) to every case as it
+/// converts, producing a filtered EventLog byte-identical to
+/// Query::apply on the returned log — cases the query drops never
+/// reach assembly. The filtered log adopts each kept case's arena and
+/// TraceBuffer, so it stands alone (correct owner adoption); like
+/// every derived log it carries no ingestion warnings.
+class QuerySink final : public CaseSink {
+ public:
+  explicit QuerySink(model::Query q) : query_(std::move(q)) {}
+
+  [[nodiscard]] std::unique_ptr<SinkPartial> make_partial() const override;
+  void fold(SinkPartial& p, const CaseContext& ctx) const override;
+  void merge(std::unique_ptr<SinkPartial> p) override;
+
+  [[nodiscard]] const model::Query& query() const { return query_; }
+  [[nodiscard]] const model::EventLog& log() const { return log_; }
+  [[nodiscard]] model::EventLog take_log() { return std::move(log_); }
+
+ private:
+  model::Query query_;
+  model::EventLog log_;
+};
+
+}  // namespace st::pipeline

@@ -1,184 +1,22 @@
 #include "pipeline/stream.hpp"
 
-#include <cstddef>
-#include <exception>
-#include <future>
-#include <limits>
-#include <memory>
-#include <optional>
 #include <utility>
 
-#include "dfg/builder.hpp"
-#include "model/from_strace.hpp"
-#include "parallel/stage_queue.hpp"
-#include "parallel/thread_pool.hpp"
-#include "strace/filename.hpp"
-#include "support/errors.hpp"
+#include "pipeline/sink.hpp"
 
 namespace st::pipeline {
 
-namespace {
-
-/// Output of one file's convert task (stage B).
-struct Converted {
-  model::Case c;
-  std::shared_ptr<strace::StringArena> arena;  ///< the case's interned cid/host
-  std::shared_ptr<strace::TraceBuffer> buffer;  ///< the records' storage
-  std::vector<std::string> warnings;            ///< raw reader warnings
-  dfg::Dfg partial;                             ///< this case's graph (trace_to_dfg only)
-};
-
-/// One parsed file travelling from stage A to stage B.
-struct Ready {
-  std::size_t index = 0;
-  strace::ReadResult result;
-};
-
-constexpr std::size_t kNoError = std::numeric_limits<std::size_t>::max();
-
-/// The shared core of event_log_streamed / trace_to_dfg. When `f` is
-/// non-null, conversion tasks also fold their case into a partial Dfg
-/// and the merged graph lands in *graph_out.
-model::EventLog run_stream(const std::vector<std::string>& paths, ThreadPool& pool,
-                           const StreamOptions& opts, const model::Mapping* f,
-                           dfg::Dfg* graph_out) {
-  // Validate every file name before any I/O: the error for a bad name
-  // is deterministic (first offender in input order) and cheap.
-  std::vector<strace::TraceFileId> ids;
-  ids.reserve(paths.size());
-  for (const auto& path : paths) {
-    auto id = strace::parse_trace_filename(path);
-    if (!id) throw ParseError("trace file name does not follow cid_host_rid.st: " + path);
-    ids.push_back(std::move(*id));
-  }
-  const std::size_t n = paths.size();
-
-  strace::ParallelReadOptions read_opts = opts;
-  read_opts.pool = &pool;
-
-  // Stage A -> B hand-off. The queue is shared_ptr-held because the
-  // callbacks run on pool threads; the handle's join() below ensures
-  // they are all gone before this frame unwinds either way.
-  const std::size_t capacity =
-      opts.queue_capacity != 0 ? opts.queue_capacity : 2 * pool.size();
-  auto queue = std::make_shared<StageQueue<Ready>>(capacity);
-
-  auto handle = strace::read_trace_files_streamed(
-      paths, read_opts,
-      [queue](std::size_t i, strace::ReadResult&& r) {
-        // push() blocks while the dispatcher is behind — backpressure
-        // on the parse stage. A false return (queue closed early by the
-        // unwind guard below) just drops the result of a failing run.
-        (void)queue->push(Ready{i, std::move(r)});
-      },
-      [queue] { queue->close(); });
-
-  // Close the queue on EVERY exit path. If this frame unwinds before
-  // the dispatcher loop drains the queue (allocation failure below),
-  // pool workers blocked in push() must wake BEFORE ~StreamedParse
-  // joins them — close() is what wakes them, and it is idempotent, so
-  // the normal path's on-all-done close makes this a no-op.
-  struct QueueCloser {
-    StageQueue<Ready>* q;
-    ~QueueCloser() { q->close(); }
-  } queue_closer{queue.get()};
-
-  // Dispatcher: the moment a file's parse finishes, its conversion
-  // goes onto the same pool — parse, convert (and DFG build) overlap.
-  // `converted` is allocated HERE, before any conversion is dispatched:
-  // no throwing operation may sit between dispatch and the await loop,
-  // or the frame could unwind while tasks still point into `ids`.
-  std::vector<std::future<Converted>> futures(n);
-  std::vector<Converted> converted(n);
-  std::exception_ptr dispatch_error;
-  while (auto ready = queue->pop()) {
-    if (dispatch_error) continue;  // keep draining so stage A can finish
-    const std::size_t i = ready->index;
-    try {
-      futures[i] = pool.submit(
-          [f, id = &ids[i], result = std::move(ready->result)]() mutable {
-            Converted out;
-            // Small blocks: this arena holds exactly one case's
-            // interned cid/host, and a swarm of small trace files must
-            // not pin a 64 KiB block each.
-            out.arena = std::make_shared<strace::StringArena>(256);
-            out.c = model::case_from_records(*id, result.records, *out.arena);
-            out.warnings = std::move(result.warnings);
-            out.buffer = std::move(result.buffer);
-            if (f) dfg::add_case_trace(out.partial, out.c, *f);
-            return out;
-          });
-    } catch (...) {
-      dispatch_error = std::current_exception();
-    }
-  }
-
-  // Queue closed: stage A has settled every file. Join the parse side,
-  // then await EVERY conversion before any exception may propagate —
-  // nothing may still reference ids/futures when this frame unwinds.
-  handle.join();
-  std::size_t err_index = kNoError;
-  std::exception_ptr err;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!futures[i].valid()) continue;  // parse failed or dispatch stopped
-    try {
-      converted[i] = futures[i].get();
-    } catch (...) {
-      if (i < err_index) {
-        err_index = i;
-        err = std::current_exception();
-      }
-    }
-  }
-  if (const auto parse_error = handle.error()) {
-    // A file either failed to parse or failed to convert, never both.
-    if (parse_error->file_index < err_index) {
-      err_index = parse_error->file_index;
-      err = parse_error->error;
-    }
-  }
-  if (!err && dispatch_error) err = dispatch_error;
-  if (err) std::rethrow_exception(err);
-
-  // Assembly, strictly in input order: case order, event order and
-  // warning order come out byte-identical to the staged path. Arenas
-  // and buffers are adopted before the log escapes (lifetime contract).
-  model::EventLog log;
-  dfg::Dfg graph;
-  std::string prefixed;  // reused "<path>: <warning>" buffer
-  for (std::size_t i = 0; i < n; ++i) {
-    Converted& cv = converted[i];
-    if (cv.arena) log.adopt(std::move(cv.arena));
-    log.add_case(std::move(cv.c));
-    if (cv.buffer) log.adopt(std::move(cv.buffer));
-    for (const auto& warning : cv.warnings) {
-      prefixed.clear();
-      prefixed.reserve(paths[i].size() + 2 + warning.size());
-      prefixed += paths[i];
-      prefixed += ": ";
-      prefixed += warning;
-      // A malformed region repeating the same defect floods the log
-      // with copies of one message; keep the first of each run.
-      if (!log.warnings().empty() && log.warnings().back() == prefixed) continue;
-      log.add_warning(prefixed);
-    }
-    if (graph_out) graph.merge(cv.partial);
-  }
-  if (graph_out) *graph_out = std::move(graph);
-  return log;
-}
-
-}  // namespace
-
 model::EventLog event_log_streamed(const std::vector<std::string>& paths, ThreadPool& pool,
                                    const StreamOptions& opts) {
-  return run_stream(paths, pool, opts, nullptr, nullptr);
+  return run(paths, pool, std::span<CaseSink* const>(), opts);
 }
 
 TraceDfg trace_to_dfg(const std::vector<std::string>& paths, const model::Mapping& f,
                       ThreadPool& pool, const StreamOptions& opts) {
+  DfgSink sink(f);
   TraceDfg out;
-  out.log = run_stream(paths, pool, opts, &f, &out.graph);
+  out.log = run(paths, pool, {&sink}, opts);
+  out.graph = sink.take_graph();
   return out;
 }
 

@@ -6,7 +6,6 @@
 #include "dfg/builder.hpp"
 #include "dfg/render.hpp"
 #include "dfg/render_svg.hpp"
-#include "model/case_stats.hpp"
 #include "support/errors.hpp"
 #include "support/si.hpp"
 
@@ -34,10 +33,10 @@ std::string flat(const model::Activity& a) {
   return out;
 }
 
-void cases_table(std::string& html, const model::EventLog& log) {
+void cases_table(std::string& html, const std::vector<model::CaseSummary>& summaries) {
   html += "<h2>Cases</h2>\n<table>\n<tr><th>case</th><th>events</th><th>read</th>"
           "<th>written</th><th>I/O time</th><th>span</th></tr>\n";
-  for (const auto& s : model::summarize_cases(log)) {
+  for (const auto& s : summaries) {
     html += "<tr><td>" + html_escape(s.id.to_string()) + "</td><td>" +
             std::to_string(s.events) + "</td><td>" +
             format_bytes(static_cast<double>(s.bytes_read)) + "</td><td>" +
@@ -78,14 +77,25 @@ void edges_table(std::string& html, const dfg::EdgeStatistics& stats) {
   html += "</table>\n";
 }
 
+void variants_table(std::string& html, const model::VariantCounts& variants) {
+  html += "<h2>Trace variants</h2>\n<table>\n"
+          "<tr><th>count</th><th>length</th><th>sequence</th></tr>\n";
+  for (const auto& [trace, mult] : variants) {
+    std::string seq;
+    for (const auto& a : trace) {
+      if (!seq.empty()) seq += ", ";
+      seq += flat(a);
+    }
+    html += "<tr><td>x" + std::to_string(mult) + "</td><td>" + std::to_string(trace.size()) +
+            "</td><td>&lt;" + html_escape(seq) + "&gt;</td></tr>\n";
+  }
+  html += "</table>\n";
+}
+
 }  // namespace
 
-std::string build_report(const model::EventLog& log, const model::Mapping& f,
-                         const dfg::Styler* styler, const ReportOptions& opts) {
-  const auto g = dfg::build_serial(log, f);
-  const auto stats = dfg::IoStatistics::compute(log, f);
-  const auto edge_stats = dfg::EdgeStatistics::compute(log, f);
-
+std::string render_report(const ReportData& data, const model::Mapping& f,
+                          const dfg::Styler* styler, const ReportOptions& opts) {
   std::string html =
       "<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n<title>" +
       html_escape(opts.title) +
@@ -102,8 +112,8 @@ std::string build_report(const model::EventLog& log, const model::Mapping& f,
     html += "<p class=\"meta\">" + html_escape(opts.description) + "</p>\n";
   }
   html += "<p class=\"meta\">mapping: <code>" + html_escape(f.name()) + "</code> &mdash; " +
-          std::to_string(log.case_count()) + " cases, " + std::to_string(log.total_events()) +
-          " events, total I/O time " + std::to_string(stats.total_duration()) +
+          std::to_string(data.case_count) + " cases, " + std::to_string(data.total_events) +
+          " events, total I/O time " + std::to_string(data.stats.total_duration()) +
           " &micro;s</p>\n";
   if (!opts.partition_legend.empty()) {
     html += "<p class=\"meta\">partition: " + html_escape(opts.partition_legend) + "</p>\n";
@@ -112,20 +122,35 @@ std::string build_report(const model::EventLog& log, const model::Mapping& f,
   html += "<h2>Directly-Follows-Graph</h2>\n";
   dfg::SvgOptions svg_opts;
   svg_opts.title = opts.title;
-  html += render_svg(g, &stats, styler, svg_opts);
+  html += render_svg(data.graph, &data.stats, styler, svg_opts);
 
-  stats_table(html, stats);
-  cases_table(html, log);
-  edges_table(html, edge_stats);
+  stats_table(html, data.stats);
+  cases_table(html, data.case_summaries);
+  edges_table(html, data.edge_stats);
+  if (data.variants) variants_table(html, *data.variants);
 
   if (opts.timeline_activity) {
-    const auto entries = dfg::IoStatistics::timeline(log, f, *opts.timeline_activity);
     html += "<h2>Timeline of " + html_escape(flat(*opts.timeline_activity)) + "</h2>\n<pre>" +
-            html_escape(dfg::render_timeline(entries, 80)) + "</pre>\n";
+            html_escape(dfg::render_timeline(data.timeline, 80)) + "</pre>\n";
   }
 
   html += "</body>\n</html>\n";
   return html;
+}
+
+std::string build_report(const model::EventLog& log, const model::Mapping& f,
+                         const dfg::Styler* styler, const ReportOptions& opts) {
+  ReportData data;
+  data.graph = dfg::build_serial(log, f);
+  data.stats = dfg::IoStatistics::compute(log, f);
+  data.edge_stats = dfg::EdgeStatistics::compute(log, f);
+  data.case_summaries = model::summarize_cases(log);
+  data.case_count = log.case_count();
+  data.total_events = log.total_events();
+  if (opts.timeline_activity) {
+    data.timeline = dfg::IoStatistics::timeline(log, f, *opts.timeline_activity);
+  }
+  return render_report(data, f, styler, opts);
 }
 
 void write_report_file(const std::string& path, const model::EventLog& log,
@@ -135,6 +160,37 @@ void write_report_file(const std::string& path, const model::EventLog& log,
   if (!out) throw IoError("cannot create report file: " + path);
   out << build_report(log, f, styler, opts);
   if (!out) throw IoError("report write failed: " + path);
+}
+
+StreamingReport streaming_report(const std::vector<std::string>& paths, const model::Mapping& f,
+                                 ThreadPool& pool, const ReportOptions& opts,
+                                 const pipeline::StreamOptions& stream_opts) {
+  // The single pass: graph, case table and variant multiset fold on
+  // the pool while the files parse.
+  pipeline::DfgSink graph_sink(f);
+  pipeline::CaseStatsSink stats_sink;
+  pipeline::VariantsSink variants_sink(f);
+  StreamingReport out;
+  out.log = pipeline::run(paths, pool, {&graph_sink, &stats_sink, &variants_sink}, stream_opts);
+
+  ReportData data;
+  data.graph = graph_sink.take_graph();
+  data.case_summaries = stats_sink.take_summaries();
+  data.variants = variants_sink.take_variants();
+  data.case_count = out.log.case_count();
+  data.total_events = out.log.total_events();
+  // Activity/edge statistics walk the (already in-memory) log: their
+  // double-valued accumulators are kept off the merge tree so their
+  // values stay bit-identical to the staged IoStatistics::compute.
+  data.stats = dfg::IoStatistics::compute(out.log, f);
+  data.edge_stats = dfg::EdgeStatistics::compute(out.log, f);
+  if (opts.timeline_activity) {
+    data.timeline = dfg::IoStatistics::timeline(out.log, f, *opts.timeline_activity);
+  }
+
+  const dfg::StatisticsColoring styler(data.stats);
+  out.html = render_report(data, f, &styler, opts);
+  return out;
 }
 
 }  // namespace st::report

@@ -7,20 +7,41 @@
 //   - the DFG as inline SVG (statistics- or partition-colored),
 //   - activity statistics table (Load, bytes, DR, concurrency, ranks),
 //   - edge gap table (the stalls between directly-following calls),
+//   - optional trace-variant multiset (streaming reports),
 //   - optional timeline of a chosen activity.
 //
 // Everything is embedded: one .html file, no external assets.
+//
+// Two ways to produce it:
+//   - build_report(log, ...): the staged path — computes every section
+//     from a materialized EventLog;
+//   - streaming_report(paths, ...): the single-pass path — composes
+//     DfgSink + CaseStatsSink + VariantsSink on pipeline::run, so the
+//     graph, the case table and the variant multiset are folded on the
+//     pool WHILE the trace files parse, instead of in separate walks
+//     after an ingestion barrier.
+// Both render through the same ReportData core, so a section looks
+// identical no matter which path produced it.
 #pragma once
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "dfg/coloring.hpp"
+#include "dfg/concurrency.hpp"
 #include "dfg/dfg.hpp"
 #include "dfg/edge_stats.hpp"
 #include "dfg/stats.hpp"
+#include "model/activity_log.hpp"
+#include "model/case_stats.hpp"
 #include "model/event_log.hpp"
 #include "model/mapping.hpp"
+#include "pipeline/sink.hpp"
+
+namespace st {
+class ThreadPool;
+}  // namespace st
 
 namespace st::report {
 
@@ -33,7 +54,29 @@ struct ReportOptions {
   std::string partition_legend;
 };
 
-/// Builds the full report. `styler` may be null (uncolored DFG).
+/// The precomputed pieces every report section renders from.
+/// build_report fills it from an EventLog; streaming_report fills it
+/// from one pipeline::run pass.
+struct ReportData {
+  dfg::Dfg graph;
+  dfg::IoStatistics stats;
+  dfg::EdgeStatistics edge_stats;
+  std::vector<model::CaseSummary> case_summaries;
+  std::size_t case_count = 0;
+  std::size_t total_events = 0;
+  /// Rendered as a "Trace variants" section when non-nullopt.
+  std::optional<model::VariantCounts> variants;
+  /// Timeline entries of ReportOptions::timeline_activity, when set.
+  std::vector<dfg::TimelineEntry> timeline;
+};
+
+/// Renders the report from precomputed data. `styler` may be null
+/// (uncolored DFG).
+[[nodiscard]] std::string render_report(const ReportData& data, const model::Mapping& f,
+                                        const dfg::Styler* styler, const ReportOptions& opts = {});
+
+/// Builds the full report from a materialized log (computes ReportData
+/// and renders it). `styler` may be null (uncolored DFG).
 [[nodiscard]] std::string build_report(const model::EventLog& log, const model::Mapping& f,
                                        const dfg::Styler* styler, const ReportOptions& opts = {});
 
@@ -41,5 +84,25 @@ struct ReportOptions {
 void write_report_file(const std::string& path, const model::EventLog& log,
                        const model::Mapping& f, const dfg::Styler* styler,
                        const ReportOptions& opts = {});
+
+struct StreamingReport {
+  std::string html;
+  /// The ingested log from the same pass — reusable (e.g. elog_tool
+  /// import writes it to a container alongside the report).
+  model::EventLog log;
+};
+
+/// Single-pass report straight from trace files: one pipeline::run
+/// streams parse -> convert while DfgSink, CaseStatsSink and
+/// VariantsSink fold the graph, the case table and the variant
+/// multiset on the same pool; activity/edge statistics (and the
+/// optional timeline) are then computed from the in-memory log. The
+/// DFG is statistics-colored like the CLI report paths. Compared to
+/// build_report over event_log_streamed, this removes the ingestion
+/// barrier plus three post-hoc walks, and adds the variants section.
+[[nodiscard]] StreamingReport streaming_report(const std::vector<std::string>& paths,
+                                               const model::Mapping& f, ThreadPool& pool,
+                                               const ReportOptions& opts = {},
+                                               const pipeline::StreamOptions& stream_opts = {});
 
 }  // namespace st::report

@@ -6,7 +6,11 @@
 #include <cstdlib>
 #include <cstring>
 
-#if defined(__SSE2__)
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define ST_SCAN_HAVE_SSE2 1  // AVX2 implies SSE2; the 16-byte path scans the tail
+#define ST_SCAN_HAVE_AVX2 1
+#elif defined(__SSE2__)
 #include <emmintrin.h>
 #define ST_SCAN_HAVE_SSE2 1
 #elif defined(__ARM_NEON) && defined(__aarch64__)
@@ -128,6 +132,41 @@ inline __m128i sse2_structural(__m128i w) {
   return hits;
 }
 
+#if defined(ST_SCAN_HAVE_AVX2)
+
+/// 32-byte blocks (-mavx2 / release-native builds). The sub-32-byte
+/// tail is handed to `tail_fn` — the callers finish it on the 16-byte
+/// SSE2 scan, so only the final sub-16 bytes ever go scalar. Same
+/// memory-safety contract as the other backends: whole blocks only,
+/// never a load past s.data() + s.size().
+template <class BlockFn, class TailFn>
+std::size_t scan_avx2(std::string_view s, std::size_t pos, BlockFn block_fn, TailFn tail_fn) {
+  const char* p = s.data();
+  const std::size_t n = s.size();
+  std::size_t i = pos;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i w = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    const auto mask = static_cast<unsigned>(_mm256_movemask_epi8(block_fn(w)));
+    if (mask != 0) {
+      return i + static_cast<std::size_t>(std::countr_zero(mask));
+    }
+  }
+  return tail_fn(i);
+}
+
+inline __m256i avx2_structural(__m256i w) {
+  const __m256i w01 = _mm256_or_si256(w, _mm256_set1_epi8(0x01));
+  const __m256i w20 = _mm256_or_si256(w, _mm256_set1_epi8(0x20));
+  __m256i hits = _mm256_cmpeq_epi8(w, _mm256_set1_epi8('"'));
+  hits = _mm256_or_si256(hits, _mm256_cmpeq_epi8(w, _mm256_set1_epi8(',')));
+  hits = _mm256_or_si256(hits, _mm256_cmpeq_epi8(w01, _mm256_set1_epi8(0x29)));
+  hits = _mm256_or_si256(hits, _mm256_cmpeq_epi8(w20, _mm256_set1_epi8(0x7B)));
+  hits = _mm256_or_si256(hits, _mm256_cmpeq_epi8(w20, _mm256_set1_epi8(0x7D)));
+  return hits;
+}
+
+#endif
+
 #elif defined(ST_SCAN_HAVE_NEON)
 
 /// 4-bit-per-byte movemask emulation: narrowing shift packs each
@@ -183,7 +222,9 @@ void set_scan_kernel_mode(ScanKernelMode mode) {
 }
 
 std::string_view scan_kernel_backend() {
-#if defined(ST_SCAN_HAVE_SSE2)
+#if defined(ST_SCAN_HAVE_AVX2)
+  return "avx2";
+#elif defined(ST_SCAN_HAVE_SSE2)
   return "sse2";
 #elif defined(ST_SCAN_HAVE_NEON)
   return "neon";
@@ -239,10 +280,66 @@ std::size_t find_structural_swar(std::string_view s, std::size_t pos) {
       [](char b) { return is_structural_byte(b); });
 }
 
+// ---- AVX2 (32-byte blocks; falls back to the 16-byte SIMD path) --------
+
+std::size_t find_byte_avx2(std::string_view s, std::size_t pos, char c) {
+#if defined(ST_SCAN_HAVE_AVX2)
+  const __m256i pat = _mm256_set1_epi8(c);
+  return scan_avx2(
+      s, pos, [pat](__m256i w) { return _mm256_cmpeq_epi8(w, pat); },
+      [&](std::size_t i) {
+        const __m128i pat16 = _mm_set1_epi8(c);
+        return scan_sse2(
+            s, i, [pat16](__m128i w) { return _mm_cmpeq_epi8(w, pat16); },
+            [c](char b) { return b == c; });
+      });
+#else
+  return find_byte_simd(s, pos, c);
+#endif
+}
+
+std::size_t find_quote_or_backslash_avx2(std::string_view s, std::size_t pos) {
+#if defined(ST_SCAN_HAVE_AVX2)
+  return scan_avx2(
+      s, pos,
+      [](__m256i w) {
+        return _mm256_or_si256(_mm256_cmpeq_epi8(w, _mm256_set1_epi8('"')),
+                               _mm256_cmpeq_epi8(w, _mm256_set1_epi8('\\')));
+      },
+      [&](std::size_t i) {
+        return scan_sse2(
+            s, i,
+            [](__m128i w) {
+              return _mm_or_si128(_mm_cmpeq_epi8(w, _mm_set1_epi8('"')),
+                                  _mm_cmpeq_epi8(w, _mm_set1_epi8('\\')));
+            },
+            [](char b) { return b == '"' || b == '\\'; });
+      });
+#else
+  return find_quote_or_backslash_simd(s, pos);
+#endif
+}
+
+std::size_t find_structural_avx2(std::string_view s, std::size_t pos) {
+#if defined(ST_SCAN_HAVE_AVX2)
+  return scan_avx2(
+      s, pos, [](__m256i w) { return avx2_structural(w); },
+      [&](std::size_t i) {
+        return scan_sse2(
+            s, i, [](__m128i w) { return sse2_structural(w); },
+            [](char b) { return is_structural_byte(b); });
+      });
+#else
+  return find_structural_simd(s, pos);
+#endif
+}
+
 // ---- SIMD (best compiled-in backend; SWAR when none) -------------------
 
 std::size_t find_byte_simd(std::string_view s, std::size_t pos, char c) {
-#if defined(ST_SCAN_HAVE_SSE2)
+#if defined(ST_SCAN_HAVE_AVX2)
+  return find_byte_avx2(s, pos, c);
+#elif defined(ST_SCAN_HAVE_SSE2)
   const __m128i pat = _mm_set1_epi8(c);
   return scan_sse2(
       s, pos, [pat](__m128i w) { return _mm_cmpeq_epi8(w, pat); },
@@ -258,7 +355,9 @@ std::size_t find_byte_simd(std::string_view s, std::size_t pos, char c) {
 }
 
 std::size_t find_quote_or_backslash_simd(std::string_view s, std::size_t pos) {
-#if defined(ST_SCAN_HAVE_SSE2)
+#if defined(ST_SCAN_HAVE_AVX2)
+  return find_quote_or_backslash_avx2(s, pos);
+#elif defined(ST_SCAN_HAVE_SSE2)
   return scan_sse2(
       s, pos,
       [](__m128i w) {
@@ -279,7 +378,9 @@ std::size_t find_quote_or_backslash_simd(std::string_view s, std::size_t pos) {
 }
 
 std::size_t find_structural_simd(std::string_view s, std::size_t pos) {
-#if defined(ST_SCAN_HAVE_SSE2)
+#if defined(ST_SCAN_HAVE_AVX2)
+  return find_structural_avx2(s, pos);
+#elif defined(ST_SCAN_HAVE_SSE2)
   return scan_sse2(
       s, pos, [](__m128i w) { return sse2_structural(w); },
       [](char b) { return is_structural_byte(b); });

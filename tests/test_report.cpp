@@ -8,7 +8,10 @@
 #include "dfg/builder.hpp"
 #include "iosim/campaign.hpp"
 #include "iosim/commands.hpp"
+#include "model/from_strace.hpp"
+#include "parallel/thread_pool.hpp"
 #include "support/errors.hpp"
+#include "support/timeparse.hpp"
 
 namespace st::report {
 namespace {
@@ -93,6 +96,95 @@ TEST(Report, WriteToBadPathThrows) {
   const auto f = model::Mapping::call_top_dirs(2);
   EXPECT_THROW(write_report_file("/nonexistent/dir/report.html", ls_log(), f, nullptr),
                IoError);
+}
+
+// ---- streaming (single-pass) reports -----------------------------------
+
+class StreamingReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("st_report_" + std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    std::filesystem::create_directories(dir_);
+    Micros t = 36000000000;  // 10:00:00
+    for (int file = 0; file < 3; ++file) {
+      std::string text;
+      for (int i = 0; i < 40; ++i) {
+        t += 100;
+        if (i % 2 == 0) {
+          text += "7  " + format_time_of_day(t) +
+                  " read(3</p/data/f>, \"\"..., 512) = 512 <0.000040>\n";
+        } else {
+          text += "7  " + format_time_of_day(t) +
+                  " pwrite64(5</p/scratch/t>, \"\"..., 4096, 0) = 4096 <0.000094>\n";
+        }
+      }
+      paths_.push_back(write_file("run" + std::to_string(file) + "_nodeA_" +
+                                      std::to_string(9000 + file) + ".st",
+                                  text));
+    }
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string write_file(const std::string& name, const std::string& text) {
+    const auto p = dir_ / name;
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out << text;
+    return p.string();
+  }
+
+  std::filesystem::path dir_;
+  std::vector<std::string> paths_;
+};
+
+TEST_F(StreamingReportTest, SinglePassReportHasEverySectionPlusVariants) {
+  const auto f = model::Mapping::call_top_dirs(2);
+  ThreadPool pool(3);
+  const auto result = streaming_report(paths_, f, pool);
+  EXPECT_EQ(result.log.case_count(), 3u);
+  for (const char* section :
+       {"<!DOCTYPE html>", "Directly-Follows-Graph", "<svg", "Activity statistics", "Cases",
+        "Directly-follows gaps", "Trace variants", "</html>"}) {
+    EXPECT_NE(result.html.find(section), std::string::npos) << section;
+  }
+  // All three cases behave identically -> one variant, multiplicity 3.
+  EXPECT_NE(result.html.find("<td>x3</td>"), std::string::npos);
+  EXPECT_NE(result.html.find("run0_nodeA_9000"), std::string::npos);
+}
+
+TEST_F(StreamingReportTest, SectionsMatchTheStagedReport) {
+  // The sink-produced sections (graph SVG, case table, metadata) must
+  // render byte-identically to build_report over the same log; the
+  // streaming report only ADDS the variants section and the
+  // statistics coloring.
+  const auto f = model::Mapping::call_top_dirs(2);
+  ThreadPool pool(2);
+  const auto streamed = streaming_report(paths_, f, pool);
+
+  const auto log = model::event_log_from_files(paths_, 1);
+  const auto stats = dfg::IoStatistics::compute(log, f);
+  const dfg::StatisticsColoring styler(stats);
+  const auto staged = build_report(log, f, &styler);
+
+  // Identical up to the variants table: the streamed html with the
+  // "Trace variants" section cut out equals the staged html.
+  const auto begin = streamed.html.find("<h2>Trace variants</h2>");
+  ASSERT_NE(begin, std::string::npos);
+  const auto end = streamed.html.find("<h2>", begin + 1);
+  std::string stripped = streamed.html;
+  stripped.erase(begin, (end == std::string::npos
+                             ? streamed.html.find("</body>") - begin
+                             : end - begin));
+  EXPECT_EQ(stripped, staged);
+}
+
+TEST_F(StreamingReportTest, WorkerCountDoesNotChangeTheHtml) {
+  const auto f = model::Mapping::call_top_dirs(2);
+  ThreadPool pool1(1);
+  ThreadPool pool4(4);
+  const auto a = streaming_report(paths_, f, pool1);
+  const auto b = streaming_report(paths_, f, pool4);
+  EXPECT_EQ(a.html, b.html);
 }
 
 TEST(Report, FullCampaignReportBuilds) {

@@ -1,8 +1,10 @@
 // Differential fuzz test for the SWAR/SIMD scan kernels: every kernel
-// backend (scalar / swar / simd) and every kernel-backed scanner must
-// be byte-identical to the scalar reference implementations over
-// randomized adversarial inputs — quotes, escapes, brackets, NUL and
-// high-bit bytes, all lengths around the 8/16-byte block boundaries.
+// backend (scalar / swar / simd — where simd resolves to AVX2 when
+// compiled in, plus the fixed *_avx2 entry points) and every
+// kernel-backed scanner must be byte-identical to the scalar reference
+// implementations over randomized adversarial inputs — quotes,
+// escapes, brackets, NUL and high-bit bytes, all lengths around the
+// 8/16/32-byte block boundaries.
 // Runs under the asan-ubsan preset like the whole suite, which also
 // proves the wide loads never read outside the input view.
 #include "strace/scan_kernels.hpp"
@@ -73,6 +75,16 @@ void expect_same_positions(std::string_view s, ScanKernelMode mode) {
     ASSERT_EQ(kernels::find_structural(s, pos), kernels::find_structural_scalar(s, pos))
         << mode_name(mode) << " find_structural at " << pos << " in "
         << testing::PrintToString(s);
+    // The fixed AVX2 entry points are fuzzed unconditionally: on a
+    // build without AVX2 they alias the 16-byte SIMD path, with it
+    // they exercise the 32-byte blocks plus the SSE2/scalar tail.
+    ASSERT_EQ(kernels::find_byte_avx2(s, pos, '\n'), kernels::find_byte_scalar(s, pos, '\n'))
+        << "avx2 find_byte('\\n') at " << pos << " in " << testing::PrintToString(s);
+    ASSERT_EQ(kernels::find_quote_or_backslash_avx2(s, pos),
+              kernels::find_quote_or_backslash_scalar(s, pos))
+        << "avx2 find_quote_or_backslash at " << pos << " in " << testing::PrintToString(s);
+    ASSERT_EQ(kernels::find_structural_avx2(s, pos), kernels::find_structural_scalar(s, pos))
+        << "avx2 find_structural at " << pos << " in " << testing::PrintToString(s);
   }
 }
 
@@ -126,10 +138,11 @@ TEST_F(ScanKernelsTest, FuzzLongInputs) {
 
 TEST_F(ScanKernelsTest, BlockBoundaryLengths) {
   // A lone special byte at every position of every length around the
-  // SWAR (8) and SIMD (16) block sizes.
+  // SWAR (8), SIMD (16) and AVX2 (32) block sizes.
   for (const auto mode : kModes) {
     kernels::set_scan_kernel_mode(mode);
-    for (std::size_t len : {1u, 7u, 8u, 9u, 15u, 16u, 17u, 31u, 32u, 33u, 63u, 64u, 65u}) {
+    for (std::size_t len : {1u, 7u, 8u, 9u, 15u, 16u, 17u, 31u, 32u, 33u, 47u, 48u, 49u, 63u,
+                            64u, 65u, 95u, 96u, 97u}) {
       for (std::size_t at = 0; at < len; ++at) {
         for (const char c : {'"', '\\', ')', ',', '\n'}) {
           std::string s(len, 'x');
@@ -196,7 +209,8 @@ TEST_F(ScanKernelsTest, TraceShapedLines) {
 
 TEST_F(ScanKernelsTest, BackendAndModeControls) {
   const auto backend = kernels::scan_kernel_backend();
-  EXPECT_TRUE(backend == "sse2" || backend == "neon" || backend == "swar") << backend;
+  EXPECT_TRUE(backend == "avx2" || backend == "sse2" || backend == "neon" || backend == "swar")
+      << backend;
   kernels::set_scan_kernel_mode(ScanKernelMode::Scalar);
   EXPECT_EQ(kernels::scan_kernel_mode(), ScanKernelMode::Scalar);
   kernels::set_scan_kernel_mode(ScanKernelMode::Swar);
