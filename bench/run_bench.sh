@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Runs the ingestion + pipeline benchmarks and writes BENCH_parse.json
-# (and BENCH_pipeline.json) at the repo root — the perf trajectory
-# record future PRs compare against.
+# Runs the ingestion + pipeline + storage benchmarks and writes
+# BENCH_parse.json, BENCH_pipeline.json and BENCH_elog.json at the
+# repo root — the perf trajectory record future PRs compare against.
 #
 #   bench/run_bench.sh [build-dir] [out-dir]
 #
@@ -53,9 +53,12 @@ if [[ ! -x "$build_dir/bench/bench_parse" ]]; then
   exit 1
 fi
 
+mkdir -p "$out_dir"
+
 parse_raw="$(mktemp)"
 pipeline_raw="$(mktemp)"
-trap 'rm -f "$parse_raw" "$pipeline_raw"' EXIT
+elog_raw="$(mktemp)"
+trap 'rm -f "$parse_raw" "$pipeline_raw" "$elog_raw"' EXIT
 
 "$build_dir/bench/bench_parse" \
   --benchmark_format=json \
@@ -66,6 +69,11 @@ trap 'rm -f "$parse_raw" "$pipeline_raw"' EXIT
   --benchmark_format=json \
   --benchmark_min_time=0.2 \
   >"$pipeline_raw"
+
+"$build_dir/bench/bench_elog" \
+  --benchmark_format=json \
+  --benchmark_min_time=0.2 \
+  >"$elog_raw"
 
 # BENCH_pipeline.json layout:
 #   {
@@ -217,4 +225,57 @@ print(f"wrote {sys.argv[3]} (speedup_vs_seed = {out['speedup_vs_seed']}x, "
       f"scan_kernel_speedup_vs_scalar = {out['scan_kernel_speedup_vs_scalar']}x, "
       f"convert_parallel_speedup = {out['convert_parallel_speedup']}x, "
       f"query_parallel_speedup = {out['query_parallel_speedup']}x)")
+EOF
+
+# BENCH_elog.json layout:
+#   {
+#     "open_speedup_v2_vs_v1": <open + first case query: mmap'd columnar
+#         v2 over the front-to-back v1 chunk parse, same corpus>,
+#     "open_speedup_v2_vs_reparse": <same v2 path over re-ingesting the
+#         raw strace text (this PR's acceptance metric: >= 10x)>,
+#     "open_micros": {"v2": .., "v1": .., "reparse": ..}  (real time),
+#     "write_speedup_v2_vs_v1" / "read_speedup_v2_vs_v1": <full-log
+#         (de)serialization throughput ratio at the largest size point;
+#         read is full materialization, v2's worst case>,
+#     "current": <google-benchmark JSON of bench_elog>
+#   }
+python3 - "$elog_raw" "$out_dir/BENCH_elog.json" <<'EOF'
+import json
+import sys
+
+current = json.load(open(sys.argv[1]))
+
+def metric(name, key):
+    for bench in current.get("benchmarks", []):
+        if bench.get("name") == name and key in bench:
+            return bench[key]
+    return None
+
+def ratio(num, den):
+    if num is None or den is None or den == 0:
+        return None
+    return round(num / den, 2)
+
+v2 = metric("BM_OpenFirstQueryV2", "real_time")
+v1 = metric("BM_OpenFirstQueryV1", "real_time")
+reparse = metric("BM_OpenFirstQueryReparse", "real_time")
+
+out = {
+    "open_speedup_v2_vs_v1": ratio(v1, v2),
+    "open_speedup_v2_vs_reparse": ratio(reparse, v2),
+    "open_micros": {"v2": round(v2, 1) if v2 else None,
+                    "v1": round(v1, 1) if v1 else None,
+                    "reparse": round(reparse, 1) if reparse else None},
+    "write_speedup_v2_vs_v1": ratio(metric("BM_ElogWriteV2/65536", "items_per_second"),
+                                    metric("BM_ElogWrite/65536", "items_per_second")),
+    "read_speedup_v2_vs_v1": ratio(metric("BM_ElogReadV2/65536", "items_per_second"),
+                                   metric("BM_ElogRead/65536", "items_per_second")),
+    "current": current,
+}
+json.dump(out, open(sys.argv[2], "w"), indent=1)
+print(f"wrote {sys.argv[2]} (open_speedup_v2_vs_v1 = {out['open_speedup_v2_vs_v1']}x, "
+      f"open_speedup_v2_vs_reparse = {out['open_speedup_v2_vs_reparse']}x, "
+      f"open_micros = {out['open_micros']}, "
+      f"write_speedup_v2_vs_v1 = {out['write_speedup_v2_vs_v1']}x, "
+      f"read_speedup_v2_vs_v1 = {out['read_speedup_v2_vs_v1']}x)")
 EOF

@@ -3,7 +3,11 @@
 # whole ctest suite under it. The zero-copy ingestion architecture
 # (TraceBuffer/arena-backed string_views in RawRecord and Event) makes
 # lifetime mistakes silent in a normal build — this job turns every
-# dangling view into a hard failure.
+# dangling view into a hard failure. The elog v2 mmap reader
+# (test_elog_v2) rides along: its byte-assembly load_u32/u64/i64
+# decoding, wrap-around delta accumulation and pool-backed views must
+# stay free of misaligned loads and signed-overflow UB even on the
+# corruption-sweep inputs.
 #
 #   bench/run_sanitize.sh [--kernels-scalar] [build-dir]
 #

@@ -1,4 +1,4 @@
-// elog_tool: inspect, filter and merge elog containers.
+// elog_tool: inspect, filter, convert and merge elog containers.
 //
 //   ./elog_tool info run.elog                      # case inventory
 //   ./elog_tool merge out.elog a.elog b.elog       # union of logs
@@ -7,15 +7,24 @@
 //   ./elog_tool import out.elog a_host1_9042.st... # strace -> elog
 //   ./elog_tool import out.elog a_host1_9042.st... --stream-report r.html
 //                       # same single pass also folds the HTML report
+//   ./elog_tool convert out.elog in.elog           # v1 <-> v2 (lossless)
+//   ./elog_tool stat run.elog [source.st...]       # format/section stats
+//
+// Commands that write a container produce the columnar mmap-able v2
+// format by default ("import once, analyze many times"); --v1 selects
+// the legacy chunk stream. Readers accept both transparently.
 #include <algorithm>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <utility>
 
 #include "dfg/export.hpp"
 #include "dfg/stats.hpp"
 #include "elog/store.hpp"
+#include "elog/v2_store.hpp"
 #include "model/case_stats.hpp"
 #include "model/from_strace.hpp"
 #include "model/query.hpp"
@@ -45,6 +54,107 @@ st::model::Mapping mapping_for(const std::string& name) {
   throw st::ParseError("unknown --map: " + name);
 }
 
+/// Output format selection: v2 unless --v1 (both at once is a typo).
+bool write_v1(const st::CliParser& cli) {
+  if (cli.has("v1") && cli.has("v2")) throw st::ParseError("--v1 and --v2 are exclusive");
+  return cli.has("v1");
+}
+
+void write_log(const std::string& path, const st::model::EventLog& log, bool v1) {
+  if (v1) {
+    st::elog::write_event_log_file(path, log);
+  } else {
+    st::elog::write_event_log_v2_file(path, log);
+  }
+}
+
+/// First 8 bytes of `path` (the container magic of either version).
+std::string sniff_magic(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw st::IoError("cannot open elog file: " + path);
+  std::string magic(8, '\0');
+  in.read(magic.data(), 8);
+  magic.resize(static_cast<std::size_t>(in.gcount()));
+  return magic;
+}
+
+std::uint64_t file_bytes(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) throw st::IoError("cannot stat file: " + path);
+  return size;
+}
+
+void stat_v2(const std::string& path, const st::CliParser& cli,
+             const std::vector<std::string>& sources) {
+  using st::elog::SectionKind;
+  const auto mapped = st::elog::open_v2(path);
+  std::cout << path << ": elog v2, " << mapped->case_count() << " cases, "
+            << mapped->total_events() << " events, " << mapped->file_size() << " bytes ("
+            << (mapped->is_mapped() ? "mmap" : "read") << ")\n";
+
+  struct KindStats {
+    std::size_t count = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::map<std::uint32_t, KindStats> kinds;
+  std::size_t varint_cases = 0;
+  for (const st::elog::SectionEntry& e : mapped->sections()) {
+    auto& k = kinds[static_cast<std::uint32_t>(e.kind)];
+    ++k.count;
+    k.bytes += e.length;
+    if (e.kind == SectionKind::kColStart && e.aux == st::elog::kStartEncodingVarint) {
+      ++varint_cases;
+    }
+  }
+  std::cout << "sections: " << mapped->sections().size() << "\n";
+  for (const auto& [kind_raw, k] : kinds) {
+    const auto kind = static_cast<SectionKind>(kind_raw);
+    std::cout << "  " << st::elog::section_kind_name(kind) << ": " << k.count
+              << (k.count == 1 ? " section, " : " sections, ") << k.bytes << " bytes";
+    if (kind == SectionKind::kStringPool) {
+      std::cout << " (" << mapped->pool_count() << " strings, " << mapped->pool_blob_bytes()
+                << " blob bytes)";
+    }
+    if (kind == SectionKind::kColStart) {
+      std::cout << " (varint in " << varint_cases << "/" << mapped->case_count() << " cases)";
+    }
+    std::cout << "\n";
+  }
+  if (!sources.empty()) {
+    std::uint64_t source_bytes = 0;
+    for (const auto& s : sources) source_bytes += file_bytes(s);
+    std::cout << "compression: " << mapped->file_size() << " / " << source_bytes
+              << " source trace bytes";
+    if (source_bytes > 0) {
+      std::cout << " = "
+                << (100.0 * static_cast<double>(mapped->file_size()) /
+                    static_cast<double>(source_bytes))
+                << "%";
+    }
+    std::cout << "\n";
+  }
+  if (cli.get_bool("verify")) {
+    mapped->verify();
+    std::cout << "verify: ok (all section crcs + padding)\n";
+  }
+}
+
+void stat_v1(const std::string& path, const st::CliParser& cli,
+             const std::vector<std::string>& sources) {
+  // v1 has no section index: statting it is a full (CRC-checked) read.
+  const auto log = st::elog::read_event_log_file(path);
+  std::cout << path << ": elog v1, " << log.case_count() << " cases, " << log.total_events()
+            << " events, " << file_bytes(path) << " bytes (full reparse)\n";
+  if (!sources.empty()) {
+    std::uint64_t source_bytes = 0;
+    for (const auto& s : sources) source_bytes += file_bytes(s);
+    std::cout << "compression: " << file_bytes(path) << " / " << source_bytes
+              << " source trace bytes\n";
+  }
+  if (cli.get_bool("verify")) std::cout << "verify: ok (every chunk crc checked)\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -58,10 +168,16 @@ int main(int argc, char** argv) {
                "import: also write a single-pass HTML report (DFG + case table + variants, "
                "folded in the same streamed pass that fills the elog) to this file",
                std::nullopt);
+  cli.add_flag("v1", "write the legacy STELOG1 chunk-stream format", std::nullopt, true);
+  cli.add_flag("v2", "write the columnar mmap-able STELOG2 format (the default)", std::nullopt,
+               true);
+  cli.add_flag("verify", "stat: run the full per-section crc pass", std::nullopt, true);
   try {
     cli.parse(argc, argv);
     const auto& args = cli.positional();
-    if (args.empty()) throw ParseError("usage: elog_tool info|merge|filter|export|import ...");
+    if (args.empty()) {
+      throw ParseError("usage: elog_tool info|merge|filter|export|import|convert|stat ...");
+    }
     const std::string& command = args[0];
 
     if (command == "info") {
@@ -76,7 +192,7 @@ int main(int argc, char** argv) {
       for (std::size_t i = 2; i < args.size(); ++i) {
         merged = model::EventLog::merge(merged, elog::read_event_log_file(args[i]));
       }
-      elog::write_event_log_file(args[1], merged);
+      write_log(args[1], merged, write_v1(cli));
       std::cout << "wrote " << merged.case_count() << " cases to " << args[1] << "\n";
     } else if (command == "filter") {
       if (args.size() != 3) throw ParseError("filter takes an output and one input");
@@ -89,36 +205,78 @@ int main(int argc, char** argv) {
       }
       ThreadPool pool(thread_count(cli));
       const auto filtered = query.apply(elog::read_event_log_file(args[2]), pool);
-      elog::write_event_log_file(args[1], filtered);
+      write_log(args[1], filtered, write_v1(cli));
       std::cout << "query [" << query.describe() << "] kept " << filtered.total_events()
                 << " events; wrote " << args[1] << "\n";
     } else if (command == "import") {
       // strace text -> elog container, through the streaming pipeline:
       // zero-copy mmap parse and record -> Case conversion overlap on
-      // one pool (cid_host_rid.st naming required).
+      // one pool (cid_host_rid.st naming required). The default v2
+      // container is written by a sink ON that pass — cases stream
+      // into the file as they convert, byte-identical to a staged
+      // write at any worker count.
       if (args.size() < 3) throw ParseError("import takes an output and >= 1 trace files");
       const std::vector<std::string> files(args.begin() + 2, args.end());
       ThreadPool pool(thread_count(cli));
+      const bool v1 = write_v1(cli);
       model::EventLog log;
-      if (cli.has("stream-report")) {
-        // One streamed pass produces BOTH artifacts: the elog container
-        // and the HTML report's graph/case-table/variants sinks.
-        auto result =
-            report::streaming_report(files, mapping_for(cli.get("map")), pool);
-        const std::string& report_path = cli.get("stream-report");
-        std::ofstream out(report_path, std::ios::trunc);
-        if (!out || !(out << result.html)) {
-          throw IoError("cannot write report file: " + report_path);
+      if (v1) {
+        if (cli.has("stream-report")) {
+          auto result = report::streaming_report(files, mapping_for(cli.get("map")), pool);
+          const std::string& report_path = cli.get("stream-report");
+          std::ofstream out(report_path, std::ios::trunc);
+          if (!out || !(out << result.html)) {
+            throw IoError("cannot write report file: " + report_path);
+          }
+          log = std::move(result.log);
+          std::cout << "wrote single-pass report to " << report_path << "\n";
+        } else {
+          log = pipeline::event_log_streamed(files, pool);
         }
-        log = std::move(result.log);
-        std::cout << "wrote single-pass report to " << report_path << "\n";
+        elog::write_event_log_file(args[1], log);
       } else {
-        log = pipeline::event_log_streamed(files, pool);
+        elog::ElogV2Writer writer(args[1]);
+        elog::ElogV2WriterSink sink(writer);
+        if (cli.has("stream-report")) {
+          // One streamed pass, three artifact families: the report's
+          // sinks, the container sink and the assembled log.
+          pipeline::CaseSink* extra[] = {&sink};
+          auto result = report::streaming_report(files, mapping_for(cli.get("map")), pool, {},
+                                                 {}, extra);
+          const std::string& report_path = cli.get("stream-report");
+          std::ofstream out(report_path, std::ios::trunc);
+          if (!out || !(out << result.html)) {
+            throw IoError("cannot write report file: " + report_path);
+          }
+          log = std::move(result.log);
+          std::cout << "wrote single-pass report to " << report_path << "\n";
+        } else {
+          log = pipeline::run(files, pool, {&sink});
+        }
+        writer.finalize();
       }
       for (const auto& w : log.warnings()) std::cerr << "warning: " << w << "\n";
-      elog::write_event_log_file(args[1], log);
       std::cout << "imported " << files.size() << " trace files (" << log.total_events()
                 << " events) into " << args[1] << "\n";
+    } else if (command == "convert") {
+      // Lossless re-encode between container versions (the reader
+      // dispatches on magic, so either direction just works).
+      if (args.size() != 3) throw ParseError("convert takes an output and one input");
+      const auto log = elog::read_event_log_file(args[2]);
+      write_log(args[1], log, write_v1(cli));
+      std::cout << "converted " << args[2] << " -> " << args[1] << " ("
+                << (write_v1(cli) ? "v1" : "v2") << ", " << log.case_count() << " cases)\n";
+    } else if (command == "stat") {
+      if (args.size() < 2) throw ParseError("stat takes an elog file [+ source traces]");
+      const std::vector<std::string> sources(args.begin() + 2, args.end());
+      const std::string magic = sniff_magic(args[1]);
+      if (magic == elog::kMagicV2) {
+        stat_v2(args[1], cli, sources);
+      } else if (magic == elog::kMagic) {
+        stat_v1(args[1], cli, sources);
+      } else {
+        throw IoError("elog: bad magic");
+      }
     } else if (command == "export") {
       if (args.size() != 2) throw ParseError("export takes one elog file");
       const auto log = elog::read_event_log_file(args[1]);

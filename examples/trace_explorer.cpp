@@ -1,11 +1,13 @@
 // trace_explorer: the "DFG as an interactive query" workflow from the
-// paper, as a CLI. Load trace files (cid_host_rid.st) or an .elog
-// container, apply a file-path filter and a mapping, and inspect the
+// paper, as a CLI. Load trace files (cid_host_rid.st) and/or .elog
+// containers — mixed freely; v2 containers open by mmap with no
+// reparse — apply a file-path filter and a mapping, and inspect the
 // resulting DFG, statistics, trace variants or an activity timeline.
 //
 //   ./trace_explorer a_host1_9042.st b_host1_9157.st \
 //       --filter /usr/lib --map last2 --render dot
 //   ./trace_explorer run.elog --map site1 --timeline "read\n$SCRATCH/ssf"
+//   ./trace_explorer imported.elog fresh_host1_17.st --render stats
 //
 // With no positional arguments it demos on the built-in ls / ls -l
 // traces of Fig. 2.
@@ -76,10 +78,16 @@ int main(int argc, char** argv) {
       // One streamed pass: DfgSink + CaseStatsSink + VariantsSink fold
       // while the trace files parse — no ingestion barrier, no
       // per-analytic re-walks of the event arrays.
-      if (cli.positional().empty() ||
-          (cli.positional().size() == 1 && cli.positional()[0].ends_with(".elog"))) {
-        throw ParseError("--stream-report needs cid_host_rid.st trace files");
+      bool any_trace = false;
+      for (const auto& p : cli.positional()) {
+        if (p.ends_with(".elog")) {
+          // Streaming parses trace text; a container is already parsed.
+          throw ParseError("--stream-report streams trace files only; convert " + p +
+                           " inputs with --render report instead");
+        }
+        any_trace = true;
       }
+      if (!any_trace) throw ParseError("--stream-report needs cid_host_rid.st trace files");
       if (cli.has("filter")) {
         // The streaming report covers the whole trace by design; a
         // silently unfiltered report would be worse than an error.
@@ -108,22 +116,35 @@ int main(int argc, char** argv) {
       std::cerr << "(no inputs; demoing on the built-in ls / ls -l traces)\n";
       log = model::EventLog::merge(iosim::make_ls_traces().to_event_log(),
                                    iosim::make_ls_l_traces().to_event_log());
-    } else if (cli.positional().size() == 1 && cli.positional()[0].ends_with(".elog")) {
-      log = elog::read_event_log_file(cli.positional()[0]);
     } else {
-      // Streaming pipeline: zero-copy mmap parse, record -> Case
-      // conversion and (when no --filter narrows the log afterwards)
-      // DFG construction all overlap on one shared pool.
-      ThreadPool pool(thread_count(cli));
-      if (cli.has("filter")) {
-        log = pipeline::event_log_streamed(cli.positional(), pool);
-      } else {
-        auto result = pipeline::trace_to_dfg(cli.positional(), f, pool);
-        log = std::move(result.log);
-        streamed_graph = std::move(result.graph);
+      // .elog containers and raw trace files mix freely: containers
+      // load via read_event_log_file (v2 by mmap, zero reparse; v1 by
+      // chunk parse), traces go through the streaming pipeline, and
+      // everything is unioned into one log.
+      std::vector<std::string> elogs;
+      std::vector<std::string> traces;
+      for (const auto& p : cli.positional()) {
+        (p.ends_with(".elog") ? elogs : traces).push_back(p);
+      }
+      if (!traces.empty()) {
+        // Streaming pipeline: zero-copy mmap parse, record -> Case
+        // conversion and (when nothing narrows or extends the log
+        // afterwards) DFG construction all overlap on one shared pool.
+        ThreadPool pool(thread_count(cli));
+        if (!cli.has("filter") && elogs.empty()) {
+          auto result = pipeline::trace_to_dfg(traces, f, pool);
+          log = std::move(result.log);
+          streamed_graph = std::move(result.graph);
+        } else {
+          log = pipeline::event_log_streamed(traces, pool);
+        }
+      }
+      // Ingestion warnings before the union: derived logs drop them.
+      for (const auto& w : log.warnings()) std::cerr << "warning: " << w << "\n";
+      for (const auto& p : elogs) {
+        log = model::EventLog::merge(log, elog::read_event_log_file(p));
       }
     }
-    for (const auto& w : log.warnings()) std::cerr << "warning: " << w << "\n";
     if (cli.has("filter")) log = log.filter_fp(cli.get("filter"));
 
     // -- analyze -----------------------------------------------------

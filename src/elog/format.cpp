@@ -1,5 +1,7 @@
 #include "elog/format.hpp"
 
+#include <algorithm>
+
 #include "support/crc32.hpp"
 #include "support/errors.hpp"
 
@@ -20,24 +22,38 @@ void put_string(std::string& out, std::string_view s) {
   out.append(s);
 }
 
-std::uint32_t PayloadReader::u32() {
-  if (pos_ + 4 > data_.size()) throw IoError("elog payload truncated (u32)");
+std::uint32_t load_u32(const char* p) {
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i) {
-    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data_[pos_ + static_cast<std::size_t>(i)]))
-         << (8 * i);
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
   }
+  return v;
+}
+
+std::uint64_t load_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::int64_t load_i64(const char* p) { return static_cast<std::int64_t>(load_u64(p)); }
+
+void store_u32(char* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<char>((v >> (8 * i)) & 0xFFu);
+}
+
+std::uint32_t PayloadReader::u32() {
+  if (pos_ + 4 > data_.size()) throw IoError("elog payload truncated (u32)");
+  const std::uint32_t v = load_u32(data_.data() + pos_);
   pos_ += 4;
   return v;
 }
 
 std::uint64_t PayloadReader::u64() {
   if (pos_ + 8 > data_.size()) throw IoError("elog payload truncated (u64)");
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
-    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data_[pos_ + static_cast<std::size_t>(i)]))
-         << (8 * i);
-  }
+  const std::uint64_t v = load_u64(data_.data() + pos_);
   pos_ += 8;
   return v;
 }
@@ -73,25 +89,27 @@ Chunk read_chunk(std::istream& in) {
   std::array<char, 8> len_bytes{};
   in.read(len_bytes.data(), 8);
   if (in.gcount() != 8) throw IoError("elog truncated: missing chunk length");
-  std::uint64_t len = 0;
-  for (int i = 0; i < 8; ++i) {
-    len |= static_cast<std::uint64_t>(static_cast<unsigned char>(len_bytes[static_cast<std::size_t>(i)]))
-           << (8 * i);
-  }
+  const std::uint64_t len = load_u64(len_bytes.data());
   if (len > (1ULL << 40)) throw IoError("elog chunk length implausible");
-  chunk.payload.resize(len);
-  in.read(chunk.payload.data(), static_cast<std::streamsize>(len));
-  if (static_cast<std::uint64_t>(in.gcount()) != len) {
-    throw IoError("elog truncated: chunk payload");
+  // Read the payload in bounded steps so a corrupted length field can
+  // only ever allocate one step beyond the bytes actually present —
+  // truncation surfaces as IoError, not as a multi-gigabyte resize.
+  constexpr std::uint64_t kReadStep = 4ULL << 20;
+  std::uint64_t left = len;
+  while (left > 0) {
+    const auto step = static_cast<std::size_t>(std::min(left, kReadStep));
+    const std::size_t old_size = chunk.payload.size();
+    chunk.payload.resize(old_size + step);
+    in.read(chunk.payload.data() + old_size, static_cast<std::streamsize>(step));
+    if (static_cast<std::size_t>(in.gcount()) != step) {
+      throw IoError("elog truncated: chunk payload");
+    }
+    left -= step;
   }
   std::array<char, 4> crc_bytes{};
   in.read(crc_bytes.data(), 4);
   if (in.gcount() != 4) throw IoError("elog truncated: chunk crc");
-  std::uint32_t stored = 0;
-  for (int i = 0; i < 4; ++i) {
-    stored |= static_cast<std::uint32_t>(static_cast<unsigned char>(crc_bytes[static_cast<std::size_t>(i)]))
-              << (8 * i);
-  }
+  const std::uint32_t stored = load_u32(crc_bytes.data());
   const std::uint32_t actual = Crc32::of(chunk.payload.data(), chunk.payload.size());
   if (stored != actual) {
     throw IoError("elog corruption: crc mismatch in chunk " +

@@ -48,6 +48,16 @@ void put_u64(std::string& out, std::uint64_t v);
 void put_i64(std::string& out, std::int64_t v);
 void put_string(std::string& out, std::string_view s);  // u32 len + bytes
 
+// Raw loads/stores shared by the v1 reader and the v2 mmap views: byte
+// assembly only (the compiler folds it to a single mov on
+// little-endian hardware), never a pointer cast, so they are free of
+// alignment/strict-aliasing UB and byte-order independent. The caller
+// guarantees the pointed-to range is in bounds.
+[[nodiscard]] std::uint32_t load_u32(const char* p);
+[[nodiscard]] std::uint64_t load_u64(const char* p);
+[[nodiscard]] std::int64_t load_i64(const char* p);
+void store_u32(char* p, std::uint32_t v);
+
 /// Cursor-based payload reader; throws IoError past the end.
 class PayloadReader {
  public:
@@ -58,6 +68,11 @@ class PayloadReader {
   [[nodiscard]] std::int64_t i64();
   [[nodiscard]] std::string str();
   [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+
+  /// Bytes left in the payload. Element counts decoded from the
+  /// payload must be bounded against this BEFORE any reserve/resize —
+  /// a corrupted count must never become a giant allocation.
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
 
  private:
   std::string_view data_;

@@ -1,10 +1,13 @@
 #include "elog/store.hpp"
 
 #include <fstream>
+#include <sstream>
 #include <unordered_map>
 
 #include "elog/format.hpp"
+#include "elog/v2_store.hpp"
 #include "strace/filename.hpp"
+#include "strace/trace_buffer.hpp"
 #include "support/errors.hpp"
 
 namespace st::elog {
@@ -100,12 +103,21 @@ model::Case read_case(std::istream& in, const Chunk& header, strace::StringArena
     const Chunk chunk = read_chunk(in);
     if (chunk.tag == kTagCaseEnd) break;
     PayloadReader r(chunk.payload);
+    // Element counts are attacker-controlled until checked: bound them
+    // against the bytes actually present in the payload BEFORE any
+    // reserve, so a corrupt count is an IoError, not a giant allocation.
     if (chunk.tag == kTagPool) {
       const std::uint32_t n = r.u32();
+      if (n > r.remaining() / 4) {
+        throw IoError("elog: string pool count exceeds payload in case " + name);
+      }
       pool.reserve(n);
       for (std::uint32_t i = 0; i < n; ++i) pool.push_back(r.str());
     } else if (chunk.tag == kTagColPid) {
       rows = r.u64();
+      if (rows > r.remaining() / 8) {
+        throw IoError("elog: row count exceeds payload in case " + name);
+      }
       pids.reserve(rows);
       for (std::uint64_t i = 0; i < rows; ++i) pids.push_back(r.u64());
     } else if (chunk.tag == kTagColCall) {
@@ -175,12 +187,10 @@ void write_event_log_file(const std::string& path, const model::EventLog& log) {
   write_event_log(out, log);
 }
 
-model::EventLog read_event_log(std::istream& in) {
-  std::string magic(kMagic.size(), '\0');
-  in.read(magic.data(), static_cast<std::streamsize>(magic.size()));
-  if (static_cast<std::size_t>(in.gcount()) != kMagic.size() || magic != kMagic) {
-    throw IoError("elog: bad magic");
-  }
+namespace {
+
+/// Remainder of the v1 reader, after the magic has been consumed.
+model::EventLog read_event_log_v1_body(std::istream& in) {
   std::array<char, 8> count_bytes{};
   in.read(count_bytes.data(), 8);
   if (in.gcount() != 8) throw IoError("elog truncated: case count");
@@ -206,9 +216,40 @@ model::EventLog read_event_log(std::istream& in) {
   return log;
 }
 
+}  // namespace
+
+model::EventLog read_event_log(std::istream& in) {
+  // Both container versions open with an 8-byte magic — sniff it and
+  // dispatch, so every caller reads both transparently.
+  std::string magic(kMagic.size(), '\0');
+  in.read(magic.data(), static_cast<std::streamsize>(magic.size()));
+  if (static_cast<std::size_t>(in.gcount()) != kMagic.size()) {
+    throw IoError("elog: bad magic");
+  }
+  if (magic == kMagic) return read_event_log_v1_body(in);
+  if (magic == kMagicV2) {
+    // v2 is footer-indexed, so a stream must be slurped; open files by
+    // path (read_event_log_file / open_v2) to get the mmap fast path.
+    std::ostringstream rest;
+    rest << in.rdbuf();
+    if (in.bad()) throw IoError("elog: read failed");
+    auto buffer = std::make_shared<strace::TraceBuffer>(magic + std::move(rest).str());
+    return read_event_log_v2(MappedElog::from_buffer(std::move(buffer)));
+  }
+  throw IoError("elog: bad magic");
+}
+
 model::EventLog read_event_log_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw IoError("cannot open elog file: " + path);
+  std::string magic(kMagicV2.size(), '\0');
+  in.read(magic.data(), static_cast<std::streamsize>(magic.size()));
+  if (static_cast<std::size_t>(in.gcount()) == kMagicV2.size() && magic == kMagicV2) {
+    in.close();
+    return read_event_log_v2(open_v2(path));
+  }
+  in.clear();
+  in.seekg(0);
   return read_event_log(in);
 }
 

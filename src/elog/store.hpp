@@ -21,8 +21,11 @@ namespace st::elog {
 void write_event_log(std::ostream& out, const model::EventLog& log);
 void write_event_log_file(const std::string& path, const model::EventLog& log);
 
-/// Deserializes; throws IoError on truncation/corruption and
-/// ParseError on malformed case names.
+/// Deserializes either container version (the 8-byte magic is sniffed;
+/// STELOG1 parses the chunk stream, STELOG2 dispatches to the columnar
+/// reader in v2_store.hpp — read_event_log_file uses its mmap fast
+/// path). Throws IoError on truncation/corruption and ParseError on
+/// malformed case names.
 [[nodiscard]] model::EventLog read_event_log(std::istream& in);
 [[nodiscard]] model::EventLog read_event_log_file(const std::string& path);
 

@@ -164,14 +164,17 @@ void write_report_file(const std::string& path, const model::EventLog& log,
 
 StreamingReport streaming_report(const std::vector<std::string>& paths, const model::Mapping& f,
                                  ThreadPool& pool, const ReportOptions& opts,
-                                 const pipeline::StreamOptions& stream_opts) {
+                                 const pipeline::StreamOptions& stream_opts,
+                                 std::span<pipeline::CaseSink* const> extra_sinks) {
   // The single pass: graph, case table and variant multiset fold on
-  // the pool while the files parse.
+  // the pool while the files parse — plus any caller sinks.
   pipeline::DfgSink graph_sink(f);
   pipeline::CaseStatsSink stats_sink;
   pipeline::VariantsSink variants_sink(f);
+  std::vector<pipeline::CaseSink*> sinks = {&graph_sink, &stats_sink, &variants_sink};
+  sinks.insert(sinks.end(), extra_sinks.begin(), extra_sinks.end());
   StreamingReport out;
-  out.log = pipeline::run(paths, pool, {&graph_sink, &stats_sink, &variants_sink}, stream_opts);
+  out.log = pipeline::run(paths, pool, std::span<pipeline::CaseSink* const>(sinks), stream_opts);
 
   ReportData data;
   data.graph = graph_sink.take_graph();

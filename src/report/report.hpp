@@ -25,6 +25,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -100,9 +101,13 @@ struct StreamingReport {
 /// DFG is statistics-colored like the CLI report paths. Compared to
 /// build_report over event_log_streamed, this removes the ingestion
 /// barrier plus three post-hoc walks, and adds the variants section.
+/// `extra_sinks` ride the same pass after the report's own sinks —
+/// elog_tool import hangs its ElogV2WriterSink here, so one streamed
+/// pass yields both the report and the container.
 [[nodiscard]] StreamingReport streaming_report(const std::vector<std::string>& paths,
                                                const model::Mapping& f, ThreadPool& pool,
                                                const ReportOptions& opts = {},
-                                               const pipeline::StreamOptions& stream_opts = {});
+                                               const pipeline::StreamOptions& stream_opts = {},
+                                               std::span<pipeline::CaseSink* const> extra_sinks = {});
 
 }  // namespace st::report

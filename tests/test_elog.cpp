@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <sstream>
 
+#include "elog/format.hpp"
 #include "elog/store.hpp"
 #include "support/errors.hpp"
 #include "support/rng.hpp"
@@ -199,6 +200,78 @@ TEST(ElogAppender, EmptyFileReadsAsEmptyLog) {
   ElogAppender(path).finalize();
   EXPECT_EQ(read_event_log_file(path).case_count(), 0u);
   std::filesystem::remove(path);
+}
+
+// ---- hardening: corrupt counts/lengths must fail fast, not allocate ----
+
+TEST(ElogHardening, PayloadReaderTruncatedPrimitivesThrow) {
+  PayloadReader r("ab");
+  EXPECT_THROW((void)r.u32(), IoError);
+  PayloadReader r64("abcdefg");
+  EXPECT_THROW((void)r64.u64(), IoError);
+  std::string short_str;
+  put_u32(short_str, 100);  // claims 100 bytes, provides none
+  PayloadReader rs(short_str);
+  EXPECT_THROW((void)rs.str(), IoError);
+  PayloadReader ri("1234567");
+  EXPECT_THROW((void)ri.i64(), IoError);
+}
+
+/// A syntactically valid v1 prefix (magic + case count + CHDR) so
+/// crafted chunks land inside a case body.
+std::stringstream v1_case_prelude() {
+  std::stringstream buf;
+  buf.write(kMagic.data(), static_cast<std::streamsize>(kMagic.size()));
+  std::string count;
+  put_u64(count, 1);
+  buf.write(count.data(), static_cast<std::streamsize>(count.size()));
+  std::string header;
+  put_string(header, "a_host1_1.st");
+  write_chunk(buf, kTagCaseHeader, header);
+  return buf;
+}
+
+TEST(ElogHardening, HugePoolCountRejectedBeforeAllocating) {
+  // The chunk CRC is valid — only the count is hostile. The reader
+  // must bound it against the payload size, not reserve 4G strings.
+  auto buf = v1_case_prelude();
+  std::string pool_payload;
+  put_u32(pool_payload, 0xFFFFFFFFu);
+  write_chunk(buf, kTagPool, pool_payload);
+  EXPECT_THROW((void)read_event_log(buf), IoError);
+}
+
+TEST(ElogHardening, HugeRowCountRejectedBeforeAllocating) {
+  auto buf = v1_case_prelude();
+  std::string pool_payload;
+  put_u32(pool_payload, 0);
+  write_chunk(buf, kTagPool, pool_payload);
+  std::string pid_payload;
+  put_u64(pid_payload, 1ULL << 50);
+  write_chunk(buf, kTagColPid, pid_payload);
+  EXPECT_THROW((void)read_event_log(buf), IoError);
+}
+
+TEST(ElogHardening, ChunkLengthPastStreamEndFailsFast) {
+  // A corrupt chunk length claiming ~0.5 TiB of payload with a few
+  // bytes present must be an IoError after at most one bounded read
+  // step — not a terabyte resize.
+  auto buf = v1_case_prelude();
+  buf.write("POOL", 4);
+  std::string len;
+  put_u64(len, 1ULL << 39);
+  buf.write(len.data(), static_cast<std::streamsize>(len.size()));
+  buf << "only a little data";
+  EXPECT_THROW((void)read_event_log(buf), IoError);
+}
+
+TEST(ElogHardening, ImplausibleChunkLengthRejected) {
+  auto buf = v1_case_prelude();
+  buf.write("POOL", 4);
+  std::string len;
+  put_u64(len, ~0ULL);
+  buf.write(len.data(), static_cast<std::streamsize>(len.size()));
+  EXPECT_THROW((void)read_event_log(buf), IoError);
 }
 
 TEST(Elog, LargeRandomLogRoundTrips) {
