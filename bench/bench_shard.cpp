@@ -1,0 +1,151 @@
+// Shard-count scaling of pipeline::run_sharded (ISSUE 7): the same
+// corpus folded at 1, 2 and 4 shards, in-process (always) and through
+// spawned `elog_tool fold-shard` subprocesses (when ST_ELOG_TOOL names
+// the built binary — bench/run_bench.sh exports it). Every variant
+// produces bit-identical analytics; the benchmark measures what the
+// shard split buys (or costs: codec + subprocess overhead) on top of
+// that guarantee. Feeds BENCH_shard.json.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "pipeline/shard.hpp"
+#include "support/timeparse.hpp"
+
+namespace {
+
+using namespace st;
+
+/// On-disk strace corpus, same mixed-parallelism shape as
+/// bench_pipeline's: one big file plus a swarm of small ones, written
+/// once and removed at exit.
+class ShardCorpus {
+ public:
+  static const std::vector<std::string>& paths() {
+    static ShardCorpus corpus;
+    return corpus.paths_;
+  }
+
+ private:
+  ShardCorpus() {
+    namespace fs = std::filesystem;
+    std::random_device rd;
+    dir_ = fs::temp_directory_path() /
+           ("st_bench_shard_" + std::to_string(rd()) + "_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    fs::create_directories(dir_);
+    paths_.push_back(write("big_nodeA_9001.st", make_trace(20000, 7)));
+    for (int i = 0; i < 8; ++i) {
+      paths_.push_back(write("s" + std::to_string(i) + "_nodeB_" + std::to_string(9100 + i) +
+                                 ".st",
+                             make_trace(1500, static_cast<std::uint64_t>(100 + i))));
+    }
+  }
+  ~ShardCorpus() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  static std::string make_trace(std::size_t lines, std::uint64_t pid) {
+    std::string text;
+    Micros t = 36000000000;  // 10:00:00
+    const std::string p = std::to_string(pid);
+    for (std::size_t i = 0; i < lines; ++i) {
+      t += 100;
+      switch (i % 4) {
+        case 0:
+          text += p + "  " + format_time_of_day(t) +
+                  " read(3</p/data/f" + std::to_string(i % 16) +
+                  ">, \"\"..., 65536) = 65536 <0.000040>\n";
+          break;
+        case 1:
+          text += p + "  " + format_time_of_day(t) +
+                  " openat(AT_FDCWD, \"/p/scratch/ssf/t" + std::to_string(i % 8) +
+                  "\", O_RDWR|O_CREAT, 0644) = 5 <0.000150>\n";
+          break;
+        case 2:
+          text += p + "  " + format_time_of_day(t) +
+                  " pwrite64(5</p/scratch/ssf/t" + std::to_string(i % 8) +
+                  ">, \"\"..., 1048576, 33554432) = 1048576 <0.000294>\n";
+          break;
+        default:
+          text += p + "  " + format_time_of_day(t) +
+                  " lseek(5</p/scratch/ssf/t" + std::to_string(i % 8) +
+                  ">, 0, SEEK_SET) = 0 <0.000002>\n";
+          break;
+      }
+    }
+    return text;
+  }
+
+  std::string write(const std::string& name, const std::string& text) {
+    const auto p = dir_ / name;
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out << text;
+    return p.string();
+  }
+
+  std::filesystem::path dir_;
+  std::vector<std::string> paths_;
+};
+
+pipeline::ShardOptions shard_options(std::size_t shards, const char* exe) {
+  pipeline::ShardOptions opts;
+  opts.shards = shards;
+  opts.mapping = "top2";
+  // One worker per shard pool: the measured scaling is the shard
+  // split's, not the inner pool's.
+  opts.worker_threads = 1;
+  if (exe != nullptr) opts.fold_shard_exe = exe;
+  return opts;
+}
+
+void run_sharded_loop(benchmark::State& state, const char* exe) {
+  const auto& paths = ShardCorpus::paths();
+  const auto opts = shard_options(static_cast<std::size_t>(state.range(0)), exe);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    auto analytics = pipeline::run_sharded(paths, opts);
+    events += analytics.total_events;
+    benchmark::DoNotOptimize(analytics);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+
+/// Every shard folds in-process (still through the codec — encode +
+/// decode stay on the measured path).
+void BM_RunSharded(benchmark::State& state) { run_sharded_loop(state, nullptr); }
+
+/// Every shard is a posix_spawned `elog_tool fold-shard` subprocess;
+/// registered only when ST_ELOG_TOOL is set.
+void BM_RunShardedSpawned(benchmark::State& state) {
+  run_sharded_loop(state, std::getenv("ST_ELOG_TOOL"));
+}
+
+void register_benchmarks() {
+  auto* in_process = benchmark::RegisterBenchmark("BM_RunSharded", BM_RunSharded);
+  in_process->Arg(1)->Arg(2)->Arg(4)->UseRealTime()->Unit(benchmark::kMillisecond);
+  if (const char* exe = std::getenv("ST_ELOG_TOOL"); exe != nullptr && *exe != '\0') {
+    auto* spawned =
+        benchmark::RegisterBenchmark("BM_RunShardedSpawned", BM_RunShardedSpawned);
+    spawned->Arg(1)->Arg(2)->Arg(4)->UseRealTime()->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Runs the ingestion + pipeline + storage benchmarks and writes
-# BENCH_parse.json, BENCH_pipeline.json and BENCH_elog.json at the
-# repo root — the perf trajectory record future PRs compare against.
+# Runs the ingestion + pipeline + storage + sharding benchmarks and
+# writes BENCH_parse.json, BENCH_pipeline.json, BENCH_elog.json and
+# BENCH_shard.json at the repo root — the perf trajectory record
+# future PRs compare against.
 #
 #   bench/run_bench.sh [build-dir] [out-dir]
 #
@@ -58,7 +59,8 @@ mkdir -p "$out_dir"
 parse_raw="$(mktemp)"
 pipeline_raw="$(mktemp)"
 elog_raw="$(mktemp)"
-trap 'rm -f "$parse_raw" "$pipeline_raw" "$elog_raw"' EXIT
+shard_raw="$(mktemp)"
+trap 'rm -f "$parse_raw" "$pipeline_raw" "$elog_raw" "$shard_raw"' EXIT
 
 "$build_dir/bench/bench_parse" \
   --benchmark_format=json \
@@ -74,6 +76,14 @@ trap 'rm -f "$parse_raw" "$pipeline_raw" "$elog_raw"' EXIT
   --benchmark_format=json \
   --benchmark_min_time=0.2 \
   >"$elog_raw"
+
+# ST_ELOG_TOOL lets bench_shard also register the spawned-subprocess
+# variant (posix_spawn of the real fold-shard verb).
+ST_ELOG_TOOL="$build_dir/examples/elog_tool" \
+  "$build_dir/bench/bench_shard" \
+  --benchmark_format=json \
+  --benchmark_min_time=0.2 \
+  >"$shard_raw"
 
 # BENCH_pipeline.json layout:
 #   {
@@ -278,4 +288,64 @@ print(f"wrote {sys.argv[2]} (open_speedup_v2_vs_v1 = {out['open_speedup_v2_vs_v1
       f"open_micros = {out['open_micros']}, "
       f"write_speedup_v2_vs_v1 = {out['write_speedup_v2_vs_v1']}x, "
       f"read_speedup_v2_vs_v1 = {out['read_speedup_v2_vs_v1']}x)")
+EOF
+
+# BENCH_shard.json layout:
+#   {
+#     "sharded_scaling": {"in_process": {"1": .., "2": .., "4": ..},
+#                         "spawned": {...}}  (events/s over run_sharded
+#         at 1/2/4 shards; in_process still round-trips the codec,
+#         spawned adds posix_spawn + blob I/O),
+#     "sharded_parallel_speedup": <best multi-shard in-process point
+#         over the 1-shard point; parity is the ceiling on a 1-CPU box>,
+#     "spawned_overhead_at_1_shard": <in-process over spawned events/s
+#         at 1 shard — what the subprocess boundary costs>,
+#     "current": <google-benchmark JSON of bench_shard>
+#   }
+python3 - "$shard_raw" "$out_dir/BENCH_shard.json" <<'EOF'
+import json
+import sys
+
+current = json.load(open(sys.argv[1]))
+
+def metric(name, key):
+    for bench in current.get("benchmarks", []):
+        if bench.get("name") == name and key in bench:
+            return bench[key]
+    return None
+
+def scaling(prefix):
+    points = {}
+    for k in (1, 2, 4):
+        ips = metric(f"{prefix}/{k}/real_time", "items_per_second")
+        if ips is not None:
+            points[str(k)] = round(ips)
+    return points
+
+in_process = scaling("BM_RunSharded")
+spawned = scaling("BM_RunShardedSpawned")
+
+def parallel_speedup(points):
+    if "1" not in points:
+        return None
+    multi = [v for k, v in points.items() if k != "1"]
+    if not multi:
+        return None
+    return round(max(multi) / points["1"], 2)
+
+overhead = None
+if "1" in in_process and "1" in spawned and spawned["1"]:
+    overhead = round(in_process["1"] / spawned["1"], 2)
+
+out = {
+    "sharded_scaling": {"in_process": in_process, "spawned": spawned},
+    "sharded_parallel_speedup": parallel_speedup(in_process),
+    "spawned_overhead_at_1_shard": overhead,
+    "current": current,
+}
+json.dump(out, open(sys.argv[2], "w"), indent=1)
+print(f"wrote {sys.argv[2]} (sharded_parallel_speedup = "
+      f"{out['sharded_parallel_speedup']}x, scaling = {in_process}, "
+      f"spawned = {spawned}, "
+      f"spawned_overhead_at_1_shard = {out['spawned_overhead_at_1_shard']}x)")
 EOF

@@ -2,9 +2,11 @@
 # Sibling of run_sanitize.sh: builds the ThreadSanitizer preset and
 # race-checks the concurrency-dense handoff code — the StageQueue /
 # ThreadPool pipeline (test_stage_queue, test_pipeline_stream,
-# test_pipeline_sinks). ASan proves the pipeline's lifetime story;
-# this proves its synchronization story. CI runs the same selection in
-# the tsan job.
+# test_pipeline_sinks) plus the sink partials and shard coordinator
+# (test_stats_sinks, test_shard; elog_tool is built so the
+# posix_spawn subprocess tests run instead of skipping). ASan proves
+# the pipeline's lifetime story; this proves its synchronization
+# story. CI runs the same selection in the tsan job.
 #
 #   bench/run_tsan.sh [build-dir]
 #
@@ -19,11 +21,12 @@ cmake -S "$repo_root" -B "$build_dir" \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "$build_dir" -j "$(nproc)" \
-  --target test_stage_queue test_pipeline_stream test_pipeline_sinks
+  --target test_stage_queue test_pipeline_stream test_pipeline_sinks \
+  test_stats_sinks test_shard elog_tool
 
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ctest --test-dir "$build_dir" \
-  -R 'test_stage_queue|test_pipeline_stream|test_pipeline_sinks' \
+  -R 'test_stage_queue|test_pipeline_stream|test_pipeline_sinks|test_stats_sinks|test_shard' \
   --output-on-failure
 
 echo "tsan suite passed"

@@ -9,6 +9,11 @@
 //                       # same single pass also folds the HTML report
 //   ./elog_tool convert out.elog in.elog           # v1 <-> v2 (lossless)
 //   ./elog_tool stat run.elog [source.st...]       # format/section stats
+//   ./elog_tool fold-shard out.partial a_h1_1.st.. # one shard's partials
+//   ./elog_tool merge-partials r.html s0.partial.. # reduce + render
+//   ./elog_tool report-sharded r.html --shards 4 a_h1_1.st...
+//                       # spawn fold-shard workers, merge, render —
+//                       # byte-identical to import --stream-report
 //
 // Commands that write a container produce the columnar mmap-able v2
 // format by default ("import once, analyze many times"); --v1 selects
@@ -29,6 +34,7 @@
 #include "model/from_strace.hpp"
 #include "model/query.hpp"
 #include "parallel/thread_pool.hpp"
+#include "pipeline/shard.hpp"
 #include "pipeline/stream.hpp"
 #include "report/report.hpp"
 #include "support/cli.hpp"
@@ -43,15 +49,38 @@ std::size_t thread_count(const st::CliParser& cli) {
   return static_cast<std::size_t>(std::max<std::int64_t>(0, cli.get_int("threads")));
 }
 
+/// The shared short-name registry — fold-shard workers and this
+/// coordinator resolve --map through the same function, so the mapping
+/// cannot drift across the process boundary.
 st::model::Mapping mapping_for(const std::string& name) {
-  using st::model::Mapping;
-  using st::model::SitePathMap;
-  if (name == "top2") return Mapping::call_top_dirs(2);
-  if (name == "last2") return Mapping::call_last_components(2);
-  if (name == "call") return Mapping::call_only();
-  if (name == "site") return Mapping::call_site(SitePathMap::juwels_like(), 0);
-  if (name == "site1") return Mapping::call_site(SitePathMap::juwels_like(), 1);
-  throw st::ParseError("unknown --map: " + name);
+  return st::model::mapping_by_name(name);
+}
+
+/// Shard worker options shared by fold-shard / report-sharded: the
+/// flags the coordinator forwards to its subprocesses.
+st::pipeline::ShardOptions shard_options(const st::CliParser& cli) {
+  st::pipeline::ShardOptions opts;
+  opts.mapping = cli.get("map");
+  opts.worker_threads = thread_count(cli);
+  if (cli.has("fp")) opts.query_fp = cli.get("fp");
+  if (cli.has("calls")) opts.query_calls = cli.get("calls");
+  return opts;
+}
+
+/// This binary's own path (for report-sharded's self-spawned workers):
+/// /proc/self/exe where available, else argv[0].
+std::string self_exe(const char* argv0) {
+  std::error_code ec;
+  const auto path = std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (!ec) return path.string();
+  return argv0;
+}
+
+void write_bytes(const std::string& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out || !out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()))) {
+    throw st::IoError("cannot write file: " + path);
+  }
 }
 
 /// Output format selection: v2 unless --v1 (both at once is a typo).
@@ -172,11 +201,14 @@ int main(int argc, char** argv) {
   cli.add_flag("v2", "write the columnar mmap-able STELOG2 format (the default)", std::nullopt,
                true);
   cli.add_flag("verify", "stat: run the full per-section crc pass", std::nullopt, true);
+  cli.add_flag("shards", "report-sharded: number of fold-shard worker processes", "2");
   try {
     cli.parse(argc, argv);
     const auto& args = cli.positional();
     if (args.empty()) {
-      throw ParseError("usage: elog_tool info|merge|filter|export|import|convert|stat ...");
+      throw ParseError(
+          "usage: elog_tool info|merge|filter|export|import|convert|stat|"
+          "fold-shard|merge-partials|report-sharded ...");
     }
     const std::string& command = args[0];
 
@@ -277,6 +309,51 @@ int main(int argc, char** argv) {
       } else {
         throw IoError("elog: bad magic");
       }
+    } else if (command == "fold-shard") {
+      // One shard of a sharded analysis: stream the given trace files
+      // through pipeline::run with EVERY analytic sink and write the
+      // encoded ShardPartial blob. Silent on success (the coordinator
+      // owns all reporting); diagnostics go to stderr via the error
+      // path like every other command.
+      if (args.size() < 3) throw ParseError("fold-shard takes an output and >= 1 trace files");
+      const std::vector<std::string> files(args.begin() + 2, args.end());
+      write_bytes(args[1], pipeline::fold_shard(files, shard_options(cli)));
+    } else if (command == "merge-partials") {
+      // The coordinator's reduce step as its own verb: decode blobs
+      // (any corruption -> IoError via the codec's CRCs), merge them
+      // in argument order, render the report. Byte-identical to
+      // import --stream-report over the same files in the same order.
+      if (args.size() < 3) throw ParseError("merge-partials takes an output and >= 1 partials");
+      std::vector<pipeline::ShardPartial> parts;
+      parts.reserve(args.size() - 2);
+      for (std::size_t i = 2; i < args.size(); ++i) {
+        std::ifstream in(args[i], std::ios::binary);
+        if (!in) throw IoError("cannot open shard partial: " + args[i]);
+        std::ostringstream bytes;
+        bytes << in.rdbuf();
+        if (in.bad()) throw IoError("cannot read shard partial: " + args[i]);
+        parts.push_back(pipeline::decode_shard_partial(std::move(bytes).str()));
+      }
+      const auto analytics = pipeline::finalize_shards(std::move(parts));
+      for (const auto& w : analytics.warnings) std::cerr << "warning: " << w << "\n";
+      write_bytes(args[1], report::render_sharded_report(analytics, mapping_for(cli.get("map"))));
+      std::cout << "merged " << (args.size() - 2) << " shard partials ("
+                << analytics.case_count << " cases) into " << args[1] << "\n";
+    } else if (command == "report-sharded") {
+      // Map + reduce in one verb: split the trace files over --shards
+      // spawned fold-shard copies of this binary, merge their blobs in
+      // shard order, render. Bit-identical to the in-process
+      // single-pass report at any shard count.
+      if (args.size() < 3) throw ParseError("report-sharded takes an output and >= 1 trace files");
+      const std::vector<std::string> files(args.begin() + 2, args.end());
+      auto sopts = shard_options(cli);
+      sopts.shards = static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("shards")));
+      sopts.fold_shard_exe = self_exe(argv[0]);
+      const auto analytics = pipeline::run_sharded(files, sopts);
+      for (const auto& w : analytics.warnings) std::cerr << "warning: " << w << "\n";
+      write_bytes(args[1], report::render_sharded_report(analytics, mapping_for(cli.get("map"))));
+      std::cout << "sharded report over " << files.size() << " trace files (x" << sopts.shards
+                << " workers) written to " << args[1] << "\n";
     } else if (command == "export") {
       if (args.size() != 2) throw ParseError("export takes one elog file");
       const auto log = elog::read_event_log_file(args[1]);

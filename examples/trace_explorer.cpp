@@ -39,19 +39,6 @@ std::size_t thread_count(const st::CliParser& cli) {
   return static_cast<std::size_t>(std::max<std::int64_t>(0, cli.get_int("threads")));
 }
 
-st::model::Mapping make_mapping(const std::string& name) {
-  using st::model::Mapping;
-  using st::model::SitePathMap;
-  if (name == "top2") return Mapping::call_top_dirs(2);
-  if (name == "top1") return Mapping::call_top_dirs(1);
-  if (name == "last2") return Mapping::call_last_components(2);
-  if (name == "last1") return Mapping::call_last_components(1);
-  if (name == "call") return Mapping::call_only();
-  if (name == "site") return Mapping::call_site(SitePathMap::juwels_like(), 0);
-  if (name == "site1") return Mapping::call_site(SitePathMap::juwels_like(), 1);
-  throw st::ParseError("unknown --map (use top1|top2|last1|last2|call|site|site1): " + name);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -72,7 +59,7 @@ int main(int argc, char** argv) {
     cli.parse(argc, argv);
 
     // -- load --------------------------------------------------------
-    const auto f = make_mapping(cli.get("map"));
+    const auto f = model::mapping_by_name(cli.get("map"));
 
     if (cli.get_bool("stream-report")) {
       // One streamed pass: DfgSink + CaseStatsSink + VariantsSink fold
@@ -112,6 +99,7 @@ int main(int argc, char** argv) {
     }
     model::EventLog log;
     std::optional<dfg::Dfg> streamed_graph;
+    std::optional<dfg::IoStatistics::Partial> streamed_io;
     if (cli.positional().empty()) {
       std::cerr << "(no inputs; demoing on the built-in ls / ls -l traces)\n";
       log = model::EventLog::merge(iosim::make_ls_traces().to_event_log(),
@@ -132,9 +120,14 @@ int main(int argc, char** argv) {
         // afterwards) DFG construction all overlap on one shared pool.
         ThreadPool pool(thread_count(cli));
         if (!cli.has("filter") && elogs.empty()) {
-          auto result = pipeline::trace_to_dfg(traces, f, pool);
-          log = std::move(result.log);
-          streamed_graph = std::move(result.graph);
+          // Nothing narrows or extends the log afterwards, so the DFG
+          // AND the activity statistics fold in the same pass — no
+          // staged post-pass walk of the assembled log.
+          pipeline::DfgSink graph_sink(f);
+          pipeline::IoStatsSink io_sink(f);
+          log = pipeline::run(traces, pool, {&graph_sink, &io_sink});
+          streamed_graph = graph_sink.take_graph();
+          streamed_io = io_sink.take_partial();
         } else {
           log = pipeline::event_log_streamed(traces, pool);
         }
@@ -149,7 +142,7 @@ int main(int argc, char** argv) {
 
     // -- analyze -----------------------------------------------------
     const auto g = streamed_graph ? std::move(*streamed_graph) : dfg::build_serial(log, f);
-    const auto stats = dfg::IoStatistics::compute(log, f);
+    const auto stats = streamed_io ? streamed_io->finalize() : dfg::IoStatistics::compute(log, f);
 
     if (cli.has("timeline")) {
       // Allow the literal two-character sequence "\n" on the command line.
@@ -157,7 +150,9 @@ int main(int argc, char** argv) {
       if (const auto pos = activity.find("\\n"); pos != std::string::npos) {
         activity.replace(pos, 2, "\n");
       }
-      std::cout << dfg::render_timeline(dfg::IoStatistics::timeline(log, f, activity));
+      std::cout << dfg::render_timeline(streamed_io
+                                            ? streamed_io->timeline(activity)
+                                            : dfg::IoStatistics::timeline(log, f, activity));
       return 0;
     }
 

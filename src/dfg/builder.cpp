@@ -5,12 +5,10 @@
 namespace st::dfg {
 
 void add_case_trace(Dfg& g, const model::Case& c, const model::Mapping& f) {
-  model::ActivityTrace trace;
-  trace.reserve(c.size());
-  for (const model::Event& e : c.events()) {
-    if (auto a = f(e)) trace.push_back(std::move(*a));
-  }
-  g.add_trace(trace, 1);
+  // model::activity_trace is THE per-case mapped-event walk
+  // (model/case_walk.hpp) — shared with IoStatistics/EdgeStatistics so
+  // the graph and the statistics cannot drift on event order.
+  g.add_trace(model::activity_trace(c, f), 1);
 }
 
 Dfg build_serial(const model::EventLog& log, const model::Mapping& f) {

@@ -1,5 +1,7 @@
 #include "dfg/dfg.hpp"
 
+#include <utility>
+
 namespace st::dfg {
 
 const Activity& Dfg::start_node() {
@@ -38,6 +40,16 @@ void Dfg::merge(const Dfg& other) {
   for (const auto& [node, count] : other.nodes_) nodes_[node] += count;
   for (const auto& [edge, count] : other.edges_) edges_[edge] += count;
   trace_count_ += other.trace_count_;
+}
+
+Dfg Dfg::from_parts(std::map<Activity, std::uint64_t> nodes,
+                    std::map<std::pair<Activity, Activity>, std::uint64_t> edges,
+                    std::uint64_t trace_count) {
+  Dfg g;
+  g.nodes_ = std::move(nodes);
+  g.edges_ = std::move(edges);
+  g.trace_count_ = trace_count;
+  return g;
 }
 
 std::uint64_t Dfg::node_count(const Activity& a) const {

@@ -42,6 +42,13 @@ class Dfg {
   /// Monoid fold: adds all node/edge weights of `other` into *this.
   void merge(const Dfg& other);
 
+  /// Reconstructs a graph from its observable parts — the inverse of
+  /// (nodes(), edges(), trace_count()), used by the shard partial
+  /// codec. No validation: the codec's CRC guards the bytes.
+  [[nodiscard]] static Dfg from_parts(std::map<Activity, std::uint64_t> nodes,
+                                      std::map<std::pair<Activity, Activity>, std::uint64_t> edges,
+                                      std::uint64_t trace_count);
+
   // -- queries ---------------------------------------------------------
 
   /// Activity nodes with their occurrence counts (start/end markers

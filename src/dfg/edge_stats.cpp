@@ -2,33 +2,67 @@
 
 #include <algorithm>
 #include <optional>
+#include <utility>
+
+#include "model/case_walk.hpp"
 
 namespace st::dfg {
 
-EdgeStatistics EdgeStatistics::compute(const model::EventLog& log, const model::Mapping& f) {
-  EdgeStatistics out;
-  for (const model::Case& c : log.cases()) {
-    std::optional<model::Activity> prev_activity;
-    Micros prev_end = 0;
-    for (const model::Event& e : c.events()) {
-      const auto activity = f(e);
-      if (!activity) continue;  // partial mapping: unmapped events break no edges
-      if (prev_activity) {
-        EdgeStat& stat = out.stats_[{*prev_activity, *activity}];
-        ++stat.count;
-        const Micros gap = e.start - prev_end;
-        if (gap >= 0) {
-          stat.total_gap += gap;
-          stat.max_gap = std::max(stat.max_gap, gap);
-        } else {
-          ++stat.overlapped;
-        }
+void EdgeStatistics::Partial::add_case(const model::Case& c, const model::Mapping& f) {
+  std::optional<model::Activity> prev_activity;
+  Micros prev_end = 0;
+  model::for_each_mapped_event(c, f, [&](model::Activity&& activity, const model::Event& e) {
+    if (prev_activity) {
+      EdgeStat& stat = stats_[{*prev_activity, activity}];
+      ++stat.count;
+      const Micros gap = e.start - prev_end;
+      if (gap >= 0) {
+        stat.total_gap += gap;
+        stat.max_gap = std::max(stat.max_gap, gap);
+      } else {
+        ++stat.overlapped;
       }
-      prev_activity = std::move(*activity);
-      prev_end = e.end();
+    }
+    prev_activity = std::move(activity);
+    prev_end = e.end();
+  });
+}
+
+void EdgeStatistics::Partial::merge(Partial&& other) {
+  if (stats_.empty()) {
+    stats_ = std::move(other.stats_);
+    return;
+  }
+  while (!other.stats_.empty()) {
+    auto node = other.stats_.extract(other.stats_.begin());
+    const auto result = stats_.insert(std::move(node));
+    if (!result.inserted) {
+      EdgeStat& into = result.position->second;
+      const EdgeStat& from = result.node.mapped();
+      into.count += from.count;
+      into.total_gap += from.total_gap;
+      into.max_gap = std::max(into.max_gap, from.max_gap);
+      into.overlapped += from.overlapped;
     }
   }
+}
+
+EdgeStatistics EdgeStatistics::Partial::finalize() const {
+  EdgeStatistics out;
+  out.stats_ = stats_;
   return out;
+}
+
+EdgeStatistics::Partial EdgeStatistics::Partial::from_stats(std::map<Edge, EdgeStat> stats) {
+  Partial p;
+  p.stats_ = std::move(stats);
+  return p;
+}
+
+EdgeStatistics EdgeStatistics::compute(const model::EventLog& log, const model::Mapping& f) {
+  Partial partial;
+  for (const model::Case& c : log.cases()) partial.add_case(c, f);
+  return partial.finalize();
 }
 
 const EdgeStat* EdgeStatistics::find(const model::Activity& from,
@@ -38,6 +72,8 @@ const EdgeStat* EdgeStatistics::find(const model::Activity& from,
 }
 
 const EdgeStatistics::Edge* EdgeStatistics::slowest_edge() const {
+  // Strict > over the ordered map: equal means keep the first —
+  // lexicographically smallest — edge. Pinned by test_stats_sinks.
   const Edge* best = nullptr;
   double best_gap = -1.0;
   for (const auto& [edge, stat] : stats_) {

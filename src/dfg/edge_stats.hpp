@@ -11,6 +11,11 @@
 // Negative gaps are possible in SMT cases (the next event may start
 // before the previous returns) and are clamped into the `overlapped`
 // counter instead of polluting the mean.
+//
+// Every accumulator here is an integer, so the per-case Partial merge
+// below is a plain commutative sum: any grouping of cases — worker
+// partials, shard blobs, the serial loop — produces identical maps,
+// and compute() delegates to it (ISSUE 7).
 #pragma once
 
 #include <cstdint>
@@ -32,14 +37,40 @@ struct EdgeStat {
   [[nodiscard]] double mean_gap() const {
     return count > 0 ? static_cast<double>(total_gap) / static_cast<double>(count) : 0.0;
   }
+
+  [[nodiscard]] bool operator==(const EdgeStat&) const = default;
 };
 
 class EdgeStatistics {
  public:
   using Edge = std::pair<model::Activity, model::Activity>;
 
+  /// Per-case partial: the same std::map the final statistics hold, so
+  /// merge is an integer fold and finalize a move. All paths (serial
+  /// compute, streamed EdgeStatsSink, decoded shard blobs) are exact.
+  class Partial {
+   public:
+    /// Folds one case's directly-follows gaps (edges never span cases).
+    void add_case(const model::Case& c, const model::Mapping& f);
+
+    /// Integer sums per edge: counts and gaps add, max_gap maxes.
+    void merge(Partial&& other);
+
+    [[nodiscard]] EdgeStatistics finalize() const;
+
+    [[nodiscard]] const std::map<Edge, EdgeStat>& stats() const { return stats_; }
+
+    /// Serialization hook (pipeline/partial_codec).
+    [[nodiscard]] static Partial from_stats(std::map<Edge, EdgeStat> stats);
+
+    [[nodiscard]] bool operator==(const Partial&) const = default;
+
+   private:
+    std::map<Edge, EdgeStat> stats_;
+  };
+
   /// Single pass over the cases; start/end markers carry no gaps and
-  /// are not included.
+  /// are not included. Delegates to the Partial path above.
   [[nodiscard]] static EdgeStatistics compute(const model::EventLog& log,
                                               const model::Mapping& f);
 
@@ -47,10 +78,14 @@ class EdgeStatistics {
   [[nodiscard]] const EdgeStat* find(const model::Activity& from,
                                      const model::Activity& to) const;
 
-  /// Edge with the largest mean gap — the dominant stall.
+  /// Edge with the largest mean gap — the dominant stall. Tie-break is
+  /// pinned: strict > over the ordered edge map, so among equal means
+  /// the LEXICOGRAPHICALLY SMALLEST edge wins, on every path (sharded
+  /// and in-process reports must render byte-identical labels).
   [[nodiscard]] const Edge* slowest_edge() const;
 
  private:
+  friend class Partial;
   std::map<Edge, EdgeStat> stats_;
 };
 

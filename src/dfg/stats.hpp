@@ -10,12 +10,23 @@
 //
 // The figures combine them as:
 //   "Load: rd (bytes)"   and   "DR: mc x rate MB/s"      (Eq. 10, 17)
+//
+// Determinism (ISSUE 7): the only floating-point accumulator here is
+// the per-activity rate sum, and FP addition is not associative — so
+// the statistics are built as per-case Partials whose merge is pure
+// CONCATENATION (bitwise exact, associative), and every double is
+// summed exactly once, in finalize(), through a fixed-shape pairwise
+// tree whose summation order is a function of the input index alone.
+// compute(), the streaming IoStatsSink and the shard-parallel
+// coordinator all run the identical add_case -> merge -> finalize
+// path, so their doubles are bit-identical at any worker or shard
+// count.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
-#include <set>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -44,10 +55,78 @@ struct ActivityStat {
   [[nodiscard]] std::string dr_label() const;
 };
 
+/// Fixed-shape pairwise tree sum: recursively halves [0, n) and adds
+/// the two halves' sums. The association shape depends on n alone —
+/// never on how the inputs were produced or grouped — so any pipeline
+/// that delivers the same value sequence produces the same bits.
+[[nodiscard]] double deterministic_pairwise_sum(std::span<const double> xs);
+
 class IoStatistics {
  public:
+  /// One case's contribution to one activity: every field a single
+  /// in-case event walk can produce. The rate sum is accumulated in
+  /// event (start) order within the case — the one place FP addition
+  /// happens before finalize().
+  struct ActivityContribution {
+    Micros total_dur = 0;
+    std::uint64_t event_count = 0;
+    std::int64_t bytes = 0;
+    bool has_bytes = false;
+    double rate_sum = 0.0;          ///< Σ size/dur of this case's rated events
+    std::uint64_t rate_samples = 0;
+    std::vector<Interval> intervals;  ///< in event order
+
+    [[nodiscard]] bool operator==(const ActivityContribution&) const = default;
+  };
+
+  struct CaseContribution {
+    model::CaseId id;
+    std::map<model::Activity, ActivityContribution> activities;
+
+    [[nodiscard]] bool operator==(const CaseContribution&) const = default;
+  };
+
+  /// The monoid the statistics are folded through: a sequence of
+  /// per-case contributions in input order. merge() concatenates (no
+  /// FP arithmetic, so grouping cannot change bits); finalize() is the
+  /// single place sums happen, identically on every path.
+  class Partial {
+   public:
+    /// Folds one case (one in-order walk of its mapped events).
+    void add_case(const model::Case& c, const model::Mapping& f);
+
+    /// Concatenation: appends `other`'s cases after this one's.
+    /// Associative and exact — the double fields are moved, never
+    /// added — so ((s0+s1)+s2) and (s0+(s1+s2)) are bitwise equal.
+    void merge(Partial&& other);
+
+    /// Sums everything once: integers plainly, the per-case rate sums
+    /// through deterministic_pairwise_sum (one leaf per contributing
+    /// case, in input order), intervals concatenated into the
+    /// (multiset-pure) concurrency sweep.
+    [[nodiscard]] IoStatistics finalize() const;
+
+    /// t_f(a, C) from the already-folded contributions: per-case
+    /// intervals of `a` in input/event order, sorted by start —
+    /// exactly the sequence IoStatistics::timeline builds from a log.
+    [[nodiscard]] std::vector<TimelineEntry> timeline(const model::Activity& a) const;
+
+    [[nodiscard]] const std::vector<CaseContribution>& cases() const { return cases_; }
+    [[nodiscard]] bool empty() const { return cases_.empty(); }
+
+    /// Serialization hook (pipeline/partial_codec): a decoded partial
+    /// is its case sequence, verbatim.
+    [[nodiscard]] static Partial from_cases(std::vector<CaseContribution> cases);
+
+    [[nodiscard]] bool operator==(const Partial&) const = default;
+
+   private:
+    std::vector<CaseContribution> cases_;
+  };
+
   /// Single pass over the events + per-activity grouping (the O(mn)
-  /// step of Sec. V).
+  /// step of Sec. V). Delegates to the Partial path above, so the
+  /// streamed/sharded runs are bit-identical to this serial compute.
   [[nodiscard]] static IoStatistics compute(const model::EventLog& log, const model::Mapping& f);
 
   [[nodiscard]] const std::map<model::Activity, ActivityStat>& per_activity() const {
@@ -63,6 +142,7 @@ class IoStatistics {
                                                            const model::Activity& a);
 
  private:
+  friend class Partial;
   std::map<model::Activity, ActivityStat> stats_;
   Micros total_dur_ = 0;
 };

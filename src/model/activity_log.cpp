@@ -2,14 +2,14 @@
 
 #include <utility>
 
+#include "model/case_walk.hpp"
+
 namespace st::model {
 
 ActivityTrace activity_trace(const Case& c, const Mapping& f) {
   ActivityTrace trace;
   trace.reserve(c.size());
-  for (const Event& e : c.events()) {
-    if (auto a = f(e)) trace.push_back(std::move(*a));
-  }
+  for_each_mapped_event(c, f, [&](Activity&& a, const Event&) { trace.push_back(std::move(a)); });
   return trace;
 }
 
@@ -40,6 +40,18 @@ void ActivityLog::merge(ActivityLog&& other) {
   activities_.merge(std::move(other.activities_));
   case_count_ += other.case_count_;
   total_instances_ += other.total_instances_;
+}
+
+ActivityLog ActivityLog::from_parts(VariantCounts variants, std::map<CaseId, ActivityTrace> per_case,
+                                    std::set<Activity> activities, std::size_t case_count,
+                                    std::size_t total_instances) {
+  ActivityLog out;
+  out.variants_ = std::move(variants);
+  out.per_case_ = std::move(per_case);
+  out.activities_ = std::move(activities);
+  out.case_count_ = case_count;
+  out.total_instances_ = total_instances;
+  return out;
 }
 
 ActivityLog ActivityLog::build(const EventLog& log, const Mapping& f) {

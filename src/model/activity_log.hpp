@@ -62,6 +62,16 @@ class ActivityLog {
   /// first merged trace wins — matching build()'s first-wins emplace).
   void merge(ActivityLog&& other);
 
+  /// Reconstructs a log from its observable parts — the inverse of the
+  /// five accessors below, used by the shard partial codec. All fields
+  /// are carried explicitly (case_count can exceed per_case.size()
+  /// when duplicate CaseIds were merged first-wins).
+  [[nodiscard]] static ActivityLog from_parts(VariantCounts variants,
+                                              std::map<CaseId, ActivityTrace> per_case,
+                                              std::set<Activity> activities,
+                                              std::size_t case_count,
+                                              std::size_t total_instances);
+
   /// Distinct traces with multiplicities, deterministically ordered
   /// (lexicographic by trace). Σ multiplicities == case count.
   [[nodiscard]] const VariantCounts& variants() const { return variants_; }

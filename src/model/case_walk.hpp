@@ -1,0 +1,29 @@
+// The one per-case walk every activity-level analytic is a fold of:
+// iterate the events of a case in start order (the order Case already
+// guarantees) and hand each event's mapped activity to a visitor,
+// skipping events the partial mapping f does not cover.
+//
+// IoStatistics, EdgeStatistics, dfg::add_case_trace and
+// model::activity_trace all fold exactly this sequence; routing them
+// through one helper means the layers cannot drift on what "the mapped
+// events of a case, in order" means (satellite of ISSUE 7).
+#pragma once
+
+#include <utility>
+
+#include "model/event_log.hpp"
+#include "model/mapping.hpp"
+
+namespace st::model {
+
+/// Calls `fn(activity, event)` for every event of `c` that f maps, in
+/// event (start) order. `fn` receives the Activity by rvalue reference
+/// and may move from it.
+template <typename Fn>
+void for_each_mapped_event(const Case& c, const Mapping& f, Fn&& fn) {
+  for (const Event& e : c.events()) {
+    if (auto a = f(e)) fn(std::move(*a), e);
+  }
+}
+
+}  // namespace st::model

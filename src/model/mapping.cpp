@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/errors.hpp"
 #include "support/strings.hpp"
 
 namespace st::model {
@@ -92,6 +93,17 @@ Mapping Mapping::call_site(SitePathMap map, int extra_levels) {
         }
         return std::string(e.call) + "\n" + label;
       });
+}
+
+Mapping mapping_by_name(const std::string& name) {
+  if (name == "top1") return Mapping::call_top_dirs(1);
+  if (name == "top2") return Mapping::call_top_dirs(2);
+  if (name == "last1") return Mapping::call_last_components(1);
+  if (name == "last2") return Mapping::call_last_components(2);
+  if (name == "call") return Mapping::call_only();
+  if (name == "site") return Mapping::call_site(SitePathMap::juwels_like(), 0);
+  if (name == "site1") return Mapping::call_site(SitePathMap::juwels_like(), 1);
+  throw ParseError("unknown mapping (use top1|top2|last1|last2|call|site|site1): " + name);
 }
 
 }  // namespace st::model

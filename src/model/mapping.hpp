@@ -112,4 +112,15 @@ class Mapping {
   Fn fn_;
 };
 
+/// The registry behind every CLI --map flag AND the shard protocol:
+/// a Mapping wraps a std::function, so it cannot cross a process
+/// boundary — shard workers receive one of these short names instead
+/// and rebuild the mapping locally. Accepted names:
+///   top1|top2    call_top_dirs(1|2)
+///   last1|last2  call_last_components(1|2)
+///   call         call_only()
+///   site|site1   call_site(juwels_like, 0|1)
+/// Throws ParseError on anything else.
+[[nodiscard]] Mapping mapping_by_name(const std::string& name);
+
 }  // namespace st::model

@@ -1,0 +1,228 @@
+#include "pipeline/shard.hpp"
+
+#include <spawn.h>
+#include <sys/wait.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <sstream>
+#include <utility>
+
+#include "model/mapping.hpp"
+#include "model/query.hpp"
+#include "parallel/thread_pool.hpp"
+#include "strace/filename.hpp"
+#include "support/errors.hpp"
+#include "support/strings.hpp"
+
+extern char** environ;
+
+namespace st::pipeline {
+
+namespace {
+
+[[nodiscard]] std::string read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open shard partial: " + path);
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  if (in.bad()) throw IoError("cannot read shard partial: " + path);
+  return std::move(bytes).str();
+}
+
+/// mkdtemp-backed scratch directory for the shard blobs, removed on
+/// scope exit (including the error paths).
+struct TempDir {
+  std::string path;
+
+  TempDir() {
+    std::string templ =
+        (std::filesystem::temp_directory_path() / "st_shard_XXXXXX").string();
+    if (mkdtemp(templ.data()) == nullptr) {
+      throw IoError("cannot create shard temp dir: " + std::string(std::strerror(errno)));
+    }
+    path = std::move(templ);
+  }
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+/// Spawns one fold-shard subprocess per split, waits for ALL of them,
+/// then surfaces the lowest-shard-index failure (matching the
+/// lowest-input-index-wins error contract of pipeline::run). Blobs are
+/// read back in shard order.
+[[nodiscard]] std::vector<std::string> fold_shards_spawned(
+    const std::vector<std::vector<std::string>>& splits, const ShardOptions& opts) {
+  const TempDir tmp;
+  struct Child {
+    pid_t pid = -1;
+    std::string out;
+    std::string error;
+  };
+  std::vector<Child> children(splits.size());
+
+  for (std::size_t i = 0; i < splits.size(); ++i) {
+    Child& child = children[i];
+    child.out = tmp.path + "/shard_" + std::to_string(i) + ".partial";
+    std::vector<std::string> args = {opts.fold_shard_exe, "fold-shard", child.out,
+                                     "--map", opts.mapping};
+    if (opts.worker_threads != 0) {
+      args.emplace_back("--threads");
+      args.emplace_back(std::to_string(opts.worker_threads));
+    }
+    if (opts.query_fp) {
+      args.emplace_back("--fp");
+      args.emplace_back(*opts.query_fp);
+    }
+    if (opts.query_calls) {
+      args.emplace_back("--calls");
+      args.emplace_back(*opts.query_calls);
+    }
+    args.insert(args.end(), splits[i].begin(), splits[i].end());
+
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    pid_t pid = -1;
+    const int rc = posix_spawn(&pid, opts.fold_shard_exe.c_str(), nullptr, nullptr, argv.data(),
+                               environ);
+    if (rc != 0) {
+      child.error = "shard " + std::to_string(i) + ": cannot spawn " + opts.fold_shard_exe +
+                    ": " + std::strerror(rc);
+    } else {
+      child.pid = pid;
+    }
+  }
+
+  // Await every child before throwing, so no shard is left running
+  // against a deleted temp dir.
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    Child& child = children[i];
+    if (child.pid < 0) continue;
+    int status = 0;
+    if (waitpid(child.pid, &status, 0) < 0) {
+      child.error = "shard " + std::to_string(i) + ": waitpid failed: " + std::strerror(errno);
+    } else if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      child.error = "shard " + std::to_string(i) + ": fold-shard subprocess failed (" +
+                    opts.fold_shard_exe + ")";
+    }
+  }
+  for (const Child& child : children) {
+    if (!child.error.empty()) throw IoError(child.error);
+  }
+
+  std::vector<std::string> blobs;
+  blobs.reserve(children.size());
+  for (const Child& child : children) blobs.push_back(read_file_bytes(child.out));
+  return blobs;
+}
+
+}  // namespace
+
+std::string fold_shard(const std::vector<std::string>& paths, const ShardOptions& opts) {
+  const model::Mapping f = model::mapping_by_name(opts.mapping);
+  ThreadPool pool(opts.worker_threads);
+
+  DfgSink graph_sink(f);
+  CaseStatsSink stats_sink;
+  ActivityLogSink activity_sink(f);
+  VariantsSink variants_sink(f);
+  IoStatsSink io_sink(f);
+  EdgeStatsSink edge_sink(f);
+  std::optional<QuerySink> query_sink;
+  std::vector<CaseSink*> sinks = {&graph_sink, &stats_sink,
+                                  &activity_sink, &variants_sink,
+                                  &io_sink, &edge_sink};
+  if (opts.query_fp || opts.query_calls) {
+    model::Query query;
+    if (opts.query_fp) query = query.fp_contains(*opts.query_fp);
+    if (opts.query_calls) {
+      std::vector<std::string> families;
+      for (const auto part : split(*opts.query_calls, ',')) families.emplace_back(part);
+      query = query.calls(std::move(families));
+    }
+    query_sink.emplace(std::move(query));
+    sinks.push_back(&*query_sink);
+  }
+
+  const model::EventLog log =
+      run(paths, pool, std::span<CaseSink* const>(sinks), opts.stream);
+
+  ShardPartial p;
+  p.case_count = log.case_count();
+  p.total_events = log.total_events();
+  p.warnings = log.warnings();
+  p.graph = graph_sink.take_graph();
+  p.case_summaries = stats_sink.take_summaries();
+  p.activity_log = activity_sink.take_log();
+  p.variants = variants_sink.take_variants();
+  p.io = io_sink.take_partial();
+  p.edges = edge_sink.take_partial();
+  if (query_sink) p.filtered = query_sink->take_log();
+  return encode_shard_partial(p);
+}
+
+ShardedAnalytics finalize_shards(std::vector<ShardPartial> parts) {
+  ShardPartial total;
+  for (ShardPartial& p : parts) total.merge(std::move(p));
+
+  ShardedAnalytics out;
+  out.case_count = total.case_count;
+  out.total_events = total.total_events;
+  out.warnings = std::move(total.warnings);
+  out.graph = std::move(total.graph);
+  out.case_summaries = std::move(total.case_summaries);
+  out.activity_log = std::move(total.activity_log);
+  out.variants = std::move(total.variants);
+  out.io_stats = total.io.finalize();
+  out.edge_stats = total.edges.finalize();
+  out.io_partial = std::move(total.io);
+  out.filtered = std::move(total.filtered);
+  return out;
+}
+
+ShardedAnalytics run_sharded(const std::vector<std::string>& paths, const ShardOptions& opts) {
+  if (opts.shards == 0) throw LogicError("run_sharded: shards must be >= 1");
+  // Same pre-I/O filename validation (and first-offender-in-input-order
+  // error) as pipeline::run, BEFORE any subprocess spawns.
+  for (const std::string& path : paths) {
+    if (!strace::parse_trace_filename(path)) {
+      throw ParseError("trace file name does not follow cid_host_rid.st: " + path);
+    }
+  }
+
+  std::vector<std::vector<std::string>> splits;
+  const std::size_t n = paths.size();
+  for (std::size_t i = 0; i < opts.shards; ++i) {
+    const std::size_t lo = i * n / opts.shards;
+    const std::size_t hi = (i + 1) * n / opts.shards;
+    if (lo < hi) splits.emplace_back(paths.begin() + lo, paths.begin() + hi);
+  }
+
+  std::vector<std::string> blobs;
+  if (opts.fold_shard_exe.empty()) {
+    blobs.reserve(splits.size());
+    for (const std::vector<std::string>& s : splits) blobs.push_back(fold_shard(s, opts));
+  } else {
+    blobs = fold_shards_spawned(splits, opts);
+  }
+
+  std::vector<ShardPartial> parts;
+  parts.reserve(blobs.size());
+  for (const std::string& blob : blobs) parts.push_back(decode_shard_partial(blob));
+  return finalize_shards(std::move(parts));
+}
+
+}  // namespace st::pipeline

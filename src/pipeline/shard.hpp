@@ -1,0 +1,111 @@
+// pipeline::run_sharded — "one pass, any scale" (ISSUE 7 tentpole).
+//
+// The streamed pipeline::run already folds every analytic in one pass
+// inside one process. This layer splits the input FILES across shards
+// and runs that same pass once per shard, each shard emitting one
+// serialized ShardPartial blob (partial_codec.hpp). The coordinator
+// decodes the blobs and merges them strictly in shard (= input) order,
+// then finalizes — the exact add_case -> merge -> finalize path the
+// in-process run takes, so the sharded output is bit-identical to
+// pipeline::run at ANY shard count, doubles included (the FP sums all
+// happen in finalize(), through the fixed-shape pairwise tree of
+// dfg/stats.hpp).
+//
+// Two execution modes, one result:
+//   - fold_shard_exe = ""      each shard folds in-process. The blob
+//                              still round-trips through the codec, so
+//                              encode/decode stays on the hot path and
+//                              the modes cannot drift apart.
+//   - fold_shard_exe = <path>  each shard is a spawned subprocess:
+//                                <exe> fold-shard <out.partial>
+//                                      --map <name> [--threads N]
+//                                      [--fp S] [--calls a,b] <traces...>
+//                              (elog_tool implements the verb). The
+//                              coordinator posix_spawns all shards,
+//                              waits for every one, surfaces the
+//                              LOWEST-shard-index failure first, and
+//                              reads the blobs in shard order.
+//
+// The mapping crosses the process boundary by its short CLI name
+// (model::mapping_by_name) — the one registry both sides resolve
+// through, so coordinator and workers cannot disagree on f.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dfg/edge_stats.hpp"
+#include "dfg/stats.hpp"
+#include "pipeline/partial_codec.hpp"
+#include "pipeline/sink.hpp"
+
+namespace st::pipeline {
+
+struct ShardOptions {
+  /// Number of file splits (>= 1). Files are split contiguously:
+  /// shard i gets [i*n/k, (i+1)*n/k); empty splits are skipped.
+  std::size_t shards = 2;
+
+  /// Activity mapping by SHORT name (top1|top2|last1|last2|call|site|
+  /// site1) — resolved via model::mapping_by_name on both sides of the
+  /// process boundary.
+  std::string mapping = "top2";
+
+  /// Worker threads per shard pool (0 = hardware).
+  std::size_t worker_threads = 0;
+
+  /// Path of the fold-shard subprocess binary (elog_tool); empty runs
+  /// every shard in-process (still through the codec).
+  std::string fold_shard_exe;
+
+  /// Optional streamed query (QuerySink) — the shard's filtered log
+  /// travels in the blob. `query_calls` is comma-separated families.
+  std::optional<std::string> query_fp;
+  std::optional<std::string> query_calls;
+
+  /// Streaming knobs for in-process folds (NOT forwarded to
+  /// subprocesses; by the pipeline's determinism contract they cannot
+  /// change any output byte, only memory behavior).
+  StreamOptions stream;
+};
+
+/// Everything the merged shard partials finalize into: the same
+/// analytics one pipeline::run pass over all files produces.
+struct ShardedAnalytics {
+  std::uint64_t case_count = 0;
+  std::uint64_t total_events = 0;
+  std::vector<std::string> warnings;
+  dfg::Dfg graph;
+  std::vector<model::CaseSummary> case_summaries;
+  model::ActivityLog activity_log;
+  model::VariantCounts variants;
+  dfg::IoStatistics io_stats;
+  dfg::EdgeStatistics edge_stats;
+  /// The merged (pre-finalize) IoStatistics partial — timelines render
+  /// from it without a log.
+  dfg::IoStatistics::Partial io_partial;
+  /// Present iff a query ran: the filtered log, cases in input order.
+  std::optional<model::EventLog> filtered;
+};
+
+/// One shard's whole job: streams `paths` through pipeline::run with
+/// every analytic sink (plus a QuerySink when opts carries a query)
+/// and returns the encoded ShardPartial blob. This is the body of the
+/// `elog_tool fold-shard` verb and of in-process sharding alike.
+[[nodiscard]] std::string fold_shard(const std::vector<std::string>& paths,
+                                     const ShardOptions& opts);
+
+/// Input-order merge + finalize of decoded shard partials — the
+/// coordinator's reduce step, exposed for tests and merge-partials.
+[[nodiscard]] ShardedAnalytics finalize_shards(std::vector<ShardPartial> parts);
+
+/// Splits `paths` across opts.shards shards, folds each (subprocess or
+/// in-process per opts.fold_shard_exe), decodes and merges the blobs
+/// in shard order. Throws the lowest-shard-index failure; IoError for
+/// subprocess/blob problems.
+[[nodiscard]] ShardedAnalytics run_sharded(const std::vector<std::string>& paths,
+                                           const ShardOptions& opts);
+
+}  // namespace st::pipeline

@@ -266,6 +266,46 @@ void VariantsSink::merge(std::unique_ptr<SinkPartial> p) {
   model::merge_variant_counts(variants_, std::move(static_cast<VariantsPartial&>(*p).counts));
 }
 
+// ---- IoStatsSink -------------------------------------------------------
+
+namespace {
+struct IoStatsPartial final : SinkPartial {
+  dfg::IoStatistics::Partial p;
+};
+}  // namespace
+
+std::unique_ptr<SinkPartial> IoStatsSink::make_partial() const {
+  return std::make_unique<IoStatsPartial>();
+}
+
+void IoStatsSink::fold(SinkPartial& p, const CaseContext& ctx) const {
+  static_cast<IoStatsPartial&>(p).p.add_case(ctx.c, *f_);
+}
+
+void IoStatsSink::merge(std::unique_ptr<SinkPartial> p) {
+  partial_.merge(std::move(static_cast<IoStatsPartial&>(*p).p));
+}
+
+// ---- EdgeStatsSink -----------------------------------------------------
+
+namespace {
+struct EdgeStatsPartial final : SinkPartial {
+  dfg::EdgeStatistics::Partial p;
+};
+}  // namespace
+
+std::unique_ptr<SinkPartial> EdgeStatsSink::make_partial() const {
+  return std::make_unique<EdgeStatsPartial>();
+}
+
+void EdgeStatsSink::fold(SinkPartial& p, const CaseContext& ctx) const {
+  static_cast<EdgeStatsPartial&>(p).p.add_case(ctx.c, *f_);
+}
+
+void EdgeStatsSink::merge(std::unique_ptr<SinkPartial> p) {
+  partial_.merge(std::move(static_cast<EdgeStatsPartial&>(*p).p));
+}
+
 // ---- QuerySink ---------------------------------------------------------
 
 namespace {

@@ -54,6 +54,8 @@
 #include <vector>
 
 #include "dfg/dfg.hpp"
+#include "dfg/edge_stats.hpp"
+#include "dfg/stats.hpp"
 #include "model/activity_log.hpp"
 #include "model/case_stats.hpp"
 #include "model/event_log.hpp"
@@ -206,6 +208,54 @@ class VariantsSink final : public CaseSink {
  private:
   const model::Mapping* f_;
   model::VariantCounts variants_;
+};
+
+/// Activity statistics (Load / bytes / DR / max-concurrency / ranks)
+/// as a sink: fold() walks one case into an IoStatistics::Partial,
+/// merge() CONCATENATES partials in input order (no FP arithmetic, so
+/// worker count cannot change bits), and finalize() runs the
+/// fixed-shape pairwise double-sum tree — bit-identical to
+/// IoStatistics::compute on the returned log, asserted with exact
+/// double equality by test_stats_sinks. `f` must outlive the run.
+class IoStatsSink final : public CaseSink {
+ public:
+  explicit IoStatsSink(const model::Mapping& f) : f_(&f) {}
+
+  [[nodiscard]] std::unique_ptr<SinkPartial> make_partial() const override;
+  void fold(SinkPartial& p, const CaseContext& ctx) const override;
+  void merge(std::unique_ptr<SinkPartial> p) override;
+
+  /// The merged (un-finalized) partial — what a shard worker encodes,
+  /// and what timeline() renders from.
+  [[nodiscard]] const dfg::IoStatistics::Partial& partial() const { return partial_; }
+  [[nodiscard]] dfg::IoStatistics::Partial take_partial() { return std::move(partial_); }
+
+  /// Runs the deterministic summation tree over the folded cases.
+  [[nodiscard]] dfg::IoStatistics finalize() const { return partial_.finalize(); }
+
+ private:
+  const model::Mapping* f_;
+  dfg::IoStatistics::Partial partial_;
+};
+
+/// Directly-follows gap statistics as a sink — all-integer partials,
+/// bit-identical to EdgeStatistics::compute on the returned log at any
+/// worker count. `f` must outlive the run.
+class EdgeStatsSink final : public CaseSink {
+ public:
+  explicit EdgeStatsSink(const model::Mapping& f) : f_(&f) {}
+
+  [[nodiscard]] std::unique_ptr<SinkPartial> make_partial() const override;
+  void fold(SinkPartial& p, const CaseContext& ctx) const override;
+  void merge(std::unique_ptr<SinkPartial> p) override;
+
+  [[nodiscard]] const dfg::EdgeStatistics::Partial& partial() const { return partial_; }
+  [[nodiscard]] dfg::EdgeStatistics::Partial take_partial() { return std::move(partial_); }
+  [[nodiscard]] dfg::EdgeStatistics finalize() const { return partial_.finalize(); }
+
+ private:
+  const model::Mapping* f_;
+  dfg::EdgeStatistics::Partial partial_;
 };
 
 /// Streaming pre-filter: applies a Query (its precompiled flat

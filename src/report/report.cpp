@@ -166,12 +166,16 @@ StreamingReport streaming_report(const std::vector<std::string>& paths, const mo
                                  ThreadPool& pool, const ReportOptions& opts,
                                  const pipeline::StreamOptions& stream_opts,
                                  std::span<pipeline::CaseSink* const> extra_sinks) {
-  // The single pass: graph, case table and variant multiset fold on
-  // the pool while the files parse — plus any caller sinks.
+  // The single pass: every analytic of the report folds on the pool
+  // while the files parse — plus any caller sinks. Nothing below walks
+  // the assembled log again.
   pipeline::DfgSink graph_sink(f);
   pipeline::CaseStatsSink stats_sink;
   pipeline::VariantsSink variants_sink(f);
-  std::vector<pipeline::CaseSink*> sinks = {&graph_sink, &stats_sink, &variants_sink};
+  pipeline::IoStatsSink io_sink(f);
+  pipeline::EdgeStatsSink edge_sink(f);
+  std::vector<pipeline::CaseSink*> sinks = {&graph_sink, &stats_sink, &variants_sink, &io_sink,
+                                            &edge_sink};
   sinks.insert(sinks.end(), extra_sinks.begin(), extra_sinks.end());
   StreamingReport out;
   out.log = pipeline::run(paths, pool, std::span<pipeline::CaseSink* const>(sinks), stream_opts);
@@ -182,18 +186,35 @@ StreamingReport streaming_report(const std::vector<std::string>& paths, const mo
   data.variants = variants_sink.take_variants();
   data.case_count = out.log.case_count();
   data.total_events = out.log.total_events();
-  // Activity/edge statistics walk the (already in-memory) log: their
-  // double-valued accumulators are kept off the merge tree so their
-  // values stay bit-identical to the staged IoStatistics::compute.
-  data.stats = dfg::IoStatistics::compute(out.log, f);
-  data.edge_stats = dfg::EdgeStatistics::compute(out.log, f);
+  const dfg::IoStatistics::Partial io_partial = io_sink.take_partial();
+  data.stats = io_partial.finalize();
+  data.edge_stats = edge_sink.finalize();
   if (opts.timeline_activity) {
-    data.timeline = dfg::IoStatistics::timeline(out.log, f, *opts.timeline_activity);
+    data.timeline = io_partial.timeline(*opts.timeline_activity);
   }
 
   const dfg::StatisticsColoring styler(data.stats);
   out.html = render_report(data, f, &styler, opts);
   return out;
+}
+
+std::string render_sharded_report(const pipeline::ShardedAnalytics& analytics,
+                                  const model::Mapping& f, const ReportOptions& opts) {
+  // The exact ReportData assembly of streaming_report, fed from the
+  // merged shard partials instead of live sinks.
+  ReportData data;
+  data.graph = analytics.graph;
+  data.case_summaries = analytics.case_summaries;
+  data.variants = analytics.variants;
+  data.case_count = analytics.case_count;
+  data.total_events = analytics.total_events;
+  data.stats = analytics.io_stats;
+  data.edge_stats = analytics.edge_stats;
+  if (opts.timeline_activity) {
+    data.timeline = analytics.io_partial.timeline(*opts.timeline_activity);
+  }
+  const dfg::StatisticsColoring styler(data.stats);
+  return render_report(data, f, &styler, opts);
 }
 
 }  // namespace st::report

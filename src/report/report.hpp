@@ -16,10 +16,13 @@
 //   - build_report(log, ...): the staged path — computes every section
 //     from a materialized EventLog;
 //   - streaming_report(paths, ...): the single-pass path — composes
-//     DfgSink + CaseStatsSink + VariantsSink on pipeline::run, so the
-//     graph, the case table and the variant multiset are folded on the
-//     pool WHILE the trace files parse, instead of in separate walks
-//     after an ingestion barrier.
+//     DfgSink + CaseStatsSink + VariantsSink + IoStatsSink +
+//     EdgeStatsSink on pipeline::run, so EVERY section — graph, case
+//     table, variants, activity and edge statistics, timeline — is
+//     folded on the pool WHILE the trace files parse; no section walks
+//     the assembled log after the pass (the staged post-pass is gone,
+//     and the doubles still match compute() bit for bit thanks to the
+//     deterministic summation tree in dfg/stats.hpp).
 // Both render through the same ReportData core, so a section looks
 // identical no matter which path produced it.
 #pragma once
@@ -38,6 +41,7 @@
 #include "model/case_stats.hpp"
 #include "model/event_log.hpp"
 #include "model/mapping.hpp"
+#include "pipeline/shard.hpp"
 #include "pipeline/sink.hpp"
 
 namespace st {
@@ -94,13 +98,13 @@ struct StreamingReport {
 };
 
 /// Single-pass report straight from trace files: one pipeline::run
-/// streams parse -> convert while DfgSink, CaseStatsSink and
-/// VariantsSink fold the graph, the case table and the variant
-/// multiset on the same pool; activity/edge statistics (and the
-/// optional timeline) are then computed from the in-memory log. The
-/// DFG is statistics-colored like the CLI report paths. Compared to
-/// build_report over event_log_streamed, this removes the ingestion
-/// barrier plus three post-hoc walks, and adds the variants section.
+/// streams parse -> convert while the report's five sinks (DFG, case
+/// table, variants, activity statistics, edge statistics) fold on the
+/// same pool; the optional timeline renders from the already-folded
+/// IoStatistics partial. The DFG is statistics-colored like the CLI
+/// report paths. Compared to build_report over event_log_streamed,
+/// this removes the ingestion barrier plus every post-hoc walk, and
+/// adds the variants section.
 /// `extra_sinks` ride the same pass after the report's own sinks —
 /// elog_tool import hangs its ElogV2WriterSink here, so one streamed
 /// pass yields both the report and the container.
@@ -109,5 +113,16 @@ struct StreamingReport {
                                                const ReportOptions& opts = {},
                                                const pipeline::StreamOptions& stream_opts = {},
                                                std::span<pipeline::CaseSink* const> extra_sinks = {});
+
+/// Renders the report from merged shard analytics (pipeline::run_sharded
+/// or finalize_shards over decoded fold-shard blobs), statistics-colored
+/// like streaming_report. Because the shard merge is the same monoid
+/// fold the streamed pass runs, the HTML is BYTE-identical to
+/// streaming_report over the same files with the same options — `cmp`
+/// is the acceptance test. `f` must be the mapping the shards folded
+/// with (by short name).
+[[nodiscard]] std::string render_sharded_report(const pipeline::ShardedAnalytics& analytics,
+                                                const model::Mapping& f,
+                                                const ReportOptions& opts = {});
 
 }  // namespace st::report

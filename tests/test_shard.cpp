@@ -1,0 +1,186 @@
+// ISSUE 7 acceptance for pipeline::run_sharded: the sharded analytics
+// — and the rendered report, byte for byte — are identical to the
+// in-process streamed run at ANY shard count (1, 2, 3, 5, and more
+// shards than files), doubles compared bit-exactly. The subprocess
+// path (elog_tool fold-shard via posix_spawn) is exercised when
+// ST_ELOG_TOOL points at the built binary (ctest sets it); without it
+// those tests skip.
+#include "pipeline/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dfg/stats.hpp"
+#include "model/query.hpp"
+#include "parallel/thread_pool.hpp"
+#include "pipeline/sink.hpp"
+#include "report/report.hpp"
+#include "support/errors.hpp"
+#include "testing_corpus.hpp"
+
+namespace st {
+namespace {
+
+using testing::expect_same_io_stats;
+using testing::expect_same_log;
+
+class Shard : public testing::CorpusTest {
+ protected:
+  Shard() : CorpusTest("st_shard") {}
+
+  static pipeline::ShardOptions base_options(std::size_t shards) {
+    pipeline::ShardOptions opts;
+    opts.shards = shards;
+    opts.mapping = "top2";
+    opts.worker_threads = 2;
+    return opts;
+  }
+};
+
+TEST_F(Shard, AnyShardCountIsBitIdenticalToTheStreamedRun) {
+  const auto paths = make_corpus();
+  const auto f = model::mapping_by_name("top2");
+
+  // In-process reference: one streamed pass, all sinks.
+  ThreadPool pool(3);
+  report::ReportOptions report_opts;
+  const auto reference = report::streaming_report(paths, f, pool, report_opts);
+  const auto ref_io = dfg::IoStatistics::compute(reference.log, f);
+  const auto ref_edges = dfg::EdgeStatistics::compute(reference.log, f);
+  ASSERT_FALSE(reference.log.warnings().empty());  // the corpus has noise
+
+  // More shards than files (64) degenerates to one file per shard.
+  for (const std::size_t shards : {1u, 2u, 3u, 5u, 64u}) {
+    const auto analytics = pipeline::run_sharded(paths, base_options(shards));
+    EXPECT_EQ(analytics.case_count, reference.log.case_count()) << shards;
+    EXPECT_EQ(analytics.total_events, reference.log.total_events()) << shards;
+    EXPECT_EQ(analytics.warnings, reference.log.warnings()) << shards;
+    expect_same_io_stats(analytics.io_stats, ref_io);
+    EXPECT_EQ(analytics.edge_stats.per_edge(), ref_edges.per_edge()) << shards;
+    // The rendered report: BYTE-identical to the streamed one.
+    EXPECT_EQ(report::render_sharded_report(analytics, f, report_opts), reference.html)
+        << shards;
+  }
+}
+
+TEST_F(Shard, TimelineSectionSurvivesTheShardBoundary) {
+  const auto paths = make_corpus();
+  const auto f = model::mapping_by_name("top2");
+
+  ThreadPool pool(3);
+  report::ReportOptions report_opts;
+  {
+    // Pick a real activity to embed as the timeline section.
+    const auto probe = report::streaming_report(paths, f, pool);
+    const auto stats = dfg::IoStatistics::compute(probe.log, f);
+    ASSERT_FALSE(stats.per_activity().empty());
+    report_opts.timeline_activity = stats.per_activity().begin()->first;
+  }
+  const auto reference = report::streaming_report(paths, f, pool, report_opts);
+  const auto analytics = pipeline::run_sharded(paths, base_options(3));
+  EXPECT_EQ(report::render_sharded_report(analytics, f, report_opts), reference.html);
+}
+
+TEST_F(Shard, QueryFilteredLogCrossesTheShardBoundaryIntact) {
+  const auto paths = make_corpus();
+  const auto f = model::mapping_by_name("top2");
+
+  // Reference: the same query as a streamed QuerySink.
+  ThreadPool pool(3);
+  pipeline::QuerySink query_sink(
+      model::Query().fp_contains("/p/").calls({"read", "write"}));
+  (void)pipeline::run(paths, pool, {&query_sink});
+  const model::EventLog ref_filtered = query_sink.take_log();
+  ASSERT_GT(ref_filtered.total_events(), 0u);
+
+  for (const std::size_t shards : {1u, 3u}) {
+    auto opts = base_options(shards);
+    opts.query_fp = "/p/";
+    opts.query_calls = "read,write";
+    const auto analytics = pipeline::run_sharded(paths, opts);
+    ASSERT_TRUE(analytics.filtered.has_value()) << shards;
+    expect_same_log(ref_filtered, *analytics.filtered);
+  }
+}
+
+TEST_F(Shard, EmptyInputProducesEmptyAnalytics) {
+  const auto analytics = pipeline::run_sharded({}, base_options(4));
+  EXPECT_EQ(analytics.case_count, 0u);
+  EXPECT_EQ(analytics.total_events, 0u);
+  EXPECT_TRUE(analytics.warnings.empty());
+  EXPECT_TRUE(analytics.graph.empty());
+  EXPECT_TRUE(analytics.io_partial.empty());
+  EXPECT_FALSE(analytics.filtered.has_value());
+}
+
+// ---- the subprocess path (gated on the built elog_tool) ----------------
+
+TEST_F(Shard, SpawnedFoldShardMatchesInProcessByteForByte) {
+  const char* exe = std::getenv("ST_ELOG_TOOL");
+  if (exe == nullptr || *exe == '\0' || !std::filesystem::exists(exe)) {
+    GTEST_SKIP() << "ST_ELOG_TOOL unset or not built (ctest exports the path)";
+  }
+  const auto paths = make_corpus();
+  const auto f = model::mapping_by_name("top2");
+
+  ThreadPool pool(3);
+  report::ReportOptions report_opts;
+  const auto reference = report::streaming_report(paths, f, pool, report_opts);
+
+  for (const std::size_t shards : {2u, 3u}) {
+    auto opts = base_options(shards);
+    opts.fold_shard_exe = exe;
+    const auto analytics = pipeline::run_sharded(paths, opts);
+    EXPECT_EQ(analytics.warnings, reference.log.warnings()) << shards;
+    EXPECT_EQ(report::render_sharded_report(analytics, f, report_opts), reference.html)
+        << shards;
+  }
+}
+
+TEST_F(Shard, SpawnedQueryCrossesTheProcessBoundary) {
+  const char* exe = std::getenv("ST_ELOG_TOOL");
+  if (exe == nullptr || *exe == '\0' || !std::filesystem::exists(exe)) {
+    GTEST_SKIP() << "ST_ELOG_TOOL unset or not built (ctest exports the path)";
+  }
+  const auto paths = make_corpus();
+
+  auto in_proc = base_options(2);
+  in_proc.query_fp = "/p/";
+  in_proc.query_calls = "read,write";
+  auto spawned = in_proc;
+  spawned.fold_shard_exe = exe;
+
+  const auto a = pipeline::run_sharded(paths, in_proc);
+  const auto b = pipeline::run_sharded(paths, spawned);
+  ASSERT_TRUE(a.filtered.has_value());
+  ASSERT_TRUE(b.filtered.has_value());
+  expect_same_log(*a.filtered, *b.filtered);
+}
+
+// ---- error paths -------------------------------------------------------
+
+TEST_F(Shard, ZeroShardsIsLogicError) {
+  const auto paths = make_corpus();
+  EXPECT_THROW((void)pipeline::run_sharded(paths, base_options(0)), LogicError);
+}
+
+TEST_F(Shard, BadTraceFilenameIsParseErrorBeforeAnyWork) {
+  auto paths = make_corpus();
+  paths.push_back(write_file("not-a-trace.txt", "x\n"));
+  EXPECT_THROW((void)pipeline::run_sharded(paths, base_options(2)), ParseError);
+}
+
+TEST_F(Shard, MissingFoldShardExecutableIsIoError) {
+  const auto paths = make_corpus();
+  auto opts = base_options(2);
+  opts.fold_shard_exe = "/nonexistent/st_fold_shard_binary";
+  EXPECT_THROW((void)pipeline::run_sharded(paths, opts), IoError);
+}
+
+}  // namespace
+}  // namespace st
