@@ -60,7 +60,8 @@ parse_raw="$(mktemp)"
 pipeline_raw="$(mktemp)"
 elog_raw="$(mktemp)"
 shard_raw="$(mktemp)"
-trap 'rm -f "$parse_raw" "$pipeline_raw" "$elog_raw" "$shard_raw"' EXIT
+nofault_raw="$(mktemp)"
+trap 'rm -f "$parse_raw" "$pipeline_raw" "$elog_raw" "$shard_raw" "$nofault_raw"' EXIT
 
 "$build_dir/bench/bench_parse" \
   --benchmark_format=json \
@@ -84,6 +85,26 @@ ST_ELOG_TOOL="$build_dir/examples/elog_tool" \
   --benchmark_format=json \
   --benchmark_min_time=0.2 \
   >"$shard_raw"
+
+# faultpoint_disabled_overhead: the same BM_RunSharded points from a
+# twin build with -DST_DISABLE_FAULT_POINTS=ON (the FAULT_POINT macros
+# compile out entirely), so BENCH_shard.json records what the always-on
+# registry costs when nothing is armed. Only meaningful when this run
+# built build-native itself — an explicit build-dir's flags are unknown
+# and the twin would not be apples-to-apples.
+echo '{}' >"$nofault_raw"
+if [[ "$build_dir" == "$repo_root/build-native" ]]; then
+  nofault_dir="$repo_root/build-nofaults"
+  cmake -B "$nofault_dir" -S "$repo_root" \
+        -DCMAKE_BUILD_TYPE=Release -DCMAKE_CXX_FLAGS="-march=native" \
+        -DST_DISABLE_FAULT_POINTS=ON >/dev/null
+  cmake --build "$nofault_dir" --target bench_shard -j "$(nproc)"
+  "$nofault_dir/bench/bench_shard" \
+    --benchmark_filter='^BM_RunSharded/' \
+    --benchmark_format=json \
+    --benchmark_min_time=0.2 \
+    >"$nofault_raw"
+fi
 
 # BENCH_pipeline.json layout:
 #   {
@@ -300,30 +321,37 @@ EOF
 #         over the 1-shard point; parity is the ceiling on a 1-CPU box>,
 #     "spawned_overhead_at_1_shard": <in-process over spawned events/s
 #         at 1 shard — what the subprocess boundary costs>,
+#     "faultpoint_disabled_overhead": <BM_RunSharded events/s with the
+#         fault registry compiled in (default build) over the same
+#         point from a -DST_DISABLE_FAULT_POINTS=ON twin build; ~1.0
+#         means the disabled registry costs nothing measurable>,
+#     "faultpoint_overhead_by_shards": {"1": .., "2": .., "4": ..},
 #     "current": <google-benchmark JSON of bench_shard>
 #   }
-python3 - "$shard_raw" "$out_dir/BENCH_shard.json" <<'EOF'
+python3 - "$shard_raw" "$nofault_raw" "$out_dir/BENCH_shard.json" <<'EOF'
 import json
 import sys
 
 current = json.load(open(sys.argv[1]))
+nofault = json.load(open(sys.argv[2]))
 
-def metric(name, key):
-    for bench in current.get("benchmarks", []):
+def metric(name, key, data=None):
+    for bench in (current if data is None else data).get("benchmarks", []):
         if bench.get("name") == name and key in bench:
             return bench[key]
     return None
 
-def scaling(prefix):
+def scaling(prefix, data=None):
     points = {}
     for k in (1, 2, 4):
-        ips = metric(f"{prefix}/{k}/real_time", "items_per_second")
+        ips = metric(f"{prefix}/{k}/real_time", "items_per_second", data)
         if ips is not None:
             points[str(k)] = round(ips)
     return points
 
 in_process = scaling("BM_RunSharded")
 spawned = scaling("BM_RunShardedSpawned")
+nofault_points = scaling("BM_RunSharded", nofault)
 
 def parallel_speedup(points):
     if "1" not in points:
@@ -337,15 +365,22 @@ overhead = None
 if "1" in in_process and "1" in spawned and spawned["1"]:
     overhead = round(in_process["1"] / spawned["1"], 2)
 
+fault_by_shards = {k: round(in_process[k] / nofault_points[k], 3)
+                   for k in in_process if nofault_points.get(k)}
+fault_overhead = fault_by_shards.get("1")
+
 out = {
     "sharded_scaling": {"in_process": in_process, "spawned": spawned},
     "sharded_parallel_speedup": parallel_speedup(in_process),
     "spawned_overhead_at_1_shard": overhead,
+    "faultpoint_disabled_overhead": fault_overhead,
+    "faultpoint_overhead_by_shards": fault_by_shards,
     "current": current,
 }
-json.dump(out, open(sys.argv[2], "w"), indent=1)
-print(f"wrote {sys.argv[2]} (sharded_parallel_speedup = "
+json.dump(out, open(sys.argv[3], "w"), indent=1)
+print(f"wrote {sys.argv[3]} (sharded_parallel_speedup = "
       f"{out['sharded_parallel_speedup']}x, scaling = {in_process}, "
       f"spawned = {spawned}, "
-      f"spawned_overhead_at_1_shard = {out['spawned_overhead_at_1_shard']}x)")
+      f"spawned_overhead_at_1_shard = {out['spawned_overhead_at_1_shard']}x, "
+      f"faultpoint_disabled_overhead = {out['faultpoint_disabled_overhead']})")
 EOF

@@ -39,6 +39,7 @@
 #include "report/report.hpp"
 #include "support/cli.hpp"
 #include "support/errors.hpp"
+#include "support/faultpoint.hpp"
 #include "support/strings.hpp"
 
 namespace {
@@ -64,7 +65,17 @@ st::pipeline::ShardOptions shard_options(const st::CliParser& cli) {
   opts.worker_threads = thread_count(cli);
   if (cli.has("fp")) opts.query_fp = cli.get("fp");
   if (cli.has("calls")) opts.query_calls = cli.get("calls");
+  opts.stream.keep_going = cli.get_bool("keep-going");
   return opts;
+}
+
+/// Reads an elog container honoring --keep-going (quarantined v2 cases
+/// become warnings, echoed to stderr like the ingestion paths').
+st::model::EventLog read_elog(const std::string& path, const st::CliParser& cli) {
+  auto log = st::elog::read_event_log_file(
+      path, st::elog::ElogReadOptions{cli.get_bool("keep-going")});
+  for (const auto& w : log.warnings()) std::cerr << "warning: " << path << ": " << w << "\n";
+  return log;
 }
 
 /// This binary's own path (for report-sharded's self-spawned workers):
@@ -202,6 +213,14 @@ int main(int argc, char** argv) {
                true);
   cli.add_flag("verify", "stat: run the full per-section crc pass", std::nullopt, true);
   cli.add_flag("shards", "report-sharded: number of fold-shard worker processes", "2");
+  cli.add_flag("keep-going",
+               "quarantine unreadable trace files / CRC-failing v2 cases with a warning "
+               "instead of aborting (default: fail fast)",
+               std::nullopt, true);
+  cli.add_flag("shard-index",
+               "fold-shard: this worker's shard number (set by the coordinator; enables "
+               "the per-shard shard.child#<i> fault site)",
+               std::nullopt);
   try {
     cli.parse(argc, argv);
     const auto& args = cli.positional();
@@ -214,7 +233,7 @@ int main(int argc, char** argv) {
 
     if (command == "info") {
       if (args.size() != 2) throw ParseError("info takes one elog file");
-      const auto log = elog::read_event_log_file(args[1]);
+      const auto log = read_elog(args[1], cli);
       std::cout << args[1] << ": " << log.case_count() << " cases, " << log.total_events()
                 << " events\n\n"
                 << model::render_case_summaries(model::summarize_cases(log));
@@ -222,7 +241,7 @@ int main(int argc, char** argv) {
       if (args.size() < 4) throw ParseError("merge takes an output and >= 2 inputs");
       model::EventLog merged;
       for (std::size_t i = 2; i < args.size(); ++i) {
-        merged = model::EventLog::merge(merged, elog::read_event_log_file(args[i]));
+        merged = model::EventLog::merge(merged, read_elog(args[i], cli));
       }
       write_log(args[1], merged, write_v1(cli));
       std::cout << "wrote " << merged.case_count() << " cases to " << args[1] << "\n";
@@ -236,7 +255,7 @@ int main(int argc, char** argv) {
         query = query.calls(std::move(families));
       }
       ThreadPool pool(thread_count(cli));
-      const auto filtered = query.apply(elog::read_event_log_file(args[2]), pool);
+      const auto filtered = query.apply(read_elog(args[2], cli), pool);
       write_log(args[1], filtered, write_v1(cli));
       std::cout << "query [" << query.describe() << "] kept " << filtered.total_events()
                 << " events; wrote " << args[1] << "\n";
@@ -251,10 +270,13 @@ int main(int argc, char** argv) {
       const std::vector<std::string> files(args.begin() + 2, args.end());
       ThreadPool pool(thread_count(cli));
       const bool v1 = write_v1(cli);
+      pipeline::StreamOptions stream_opts;
+      stream_opts.keep_going = cli.get_bool("keep-going");
       model::EventLog log;
       if (v1) {
         if (cli.has("stream-report")) {
-          auto result = report::streaming_report(files, mapping_for(cli.get("map")), pool);
+          auto result =
+              report::streaming_report(files, mapping_for(cli.get("map")), pool, {}, stream_opts);
           const std::string& report_path = cli.get("stream-report");
           std::ofstream out(report_path, std::ios::trunc);
           if (!out || !(out << result.html)) {
@@ -263,7 +285,7 @@ int main(int argc, char** argv) {
           log = std::move(result.log);
           std::cout << "wrote single-pass report to " << report_path << "\n";
         } else {
-          log = pipeline::event_log_streamed(files, pool);
+          log = pipeline::event_log_streamed(files, pool, stream_opts);
         }
         elog::write_event_log_file(args[1], log);
       } else {
@@ -274,7 +296,7 @@ int main(int argc, char** argv) {
           // sinks, the container sink and the assembled log.
           pipeline::CaseSink* extra[] = {&sink};
           auto result = report::streaming_report(files, mapping_for(cli.get("map")), pool, {},
-                                                 {}, extra);
+                                                 stream_opts, extra);
           const std::string& report_path = cli.get("stream-report");
           std::ofstream out(report_path, std::ios::trunc);
           if (!out || !(out << result.html)) {
@@ -283,7 +305,7 @@ int main(int argc, char** argv) {
           log = std::move(result.log);
           std::cout << "wrote single-pass report to " << report_path << "\n";
         } else {
-          log = pipeline::run(files, pool, {&sink});
+          log = pipeline::run(files, pool, {&sink}, stream_opts);
         }
         writer.finalize();
       }
@@ -294,7 +316,7 @@ int main(int argc, char** argv) {
       // Lossless re-encode between container versions (the reader
       // dispatches on magic, so either direction just works).
       if (args.size() != 3) throw ParseError("convert takes an output and one input");
-      const auto log = elog::read_event_log_file(args[2]);
+      const auto log = read_elog(args[2], cli);
       write_log(args[1], log, write_v1(cli));
       std::cout << "converted " << args[2] << " -> " << args[1] << " ("
                 << (write_v1(cli) ? "v1" : "v2") << ", " << log.case_count() << " cases)\n";
@@ -317,6 +339,13 @@ int main(int argc, char** argv) {
       // path like every other command.
       if (args.size() < 3) throw ParseError("fold-shard takes an output and >= 1 trace files");
       const std::vector<std::string> files(args.begin() + 2, args.end());
+      // Worker-side fault sites, HERE and not in pipeline::fold_shard,
+      // so the coordinator's in-process fallback cannot trip them:
+      // "shard.child" hits any worker, "shard.child#<i>" exactly one.
+      FAULT_POINT("shard.child");
+      if (cli.has("shard-index")) {
+        FAULT_POINT("shard.child#" + cli.get("shard-index"));
+      }
       write_bytes(args[1], pipeline::fold_shard(files, shard_options(cli)));
     } else if (command == "merge-partials") {
       // The coordinator's reduce step as its own verb: decode blobs
@@ -351,12 +380,17 @@ int main(int argc, char** argv) {
       sopts.fold_shard_exe = self_exe(argv[0]);
       const auto analytics = pipeline::run_sharded(files, sopts);
       for (const auto& w : analytics.warnings) std::cerr << "warning: " << w << "\n";
+      // Supervision outcome goes to STDERR as diagnostics — never into
+      // the report, which stays byte-identical to the clean run.
+      for (const auto& line : analytics.shard_report.to_lines()) {
+        std::cerr << "shard-recovery: " << line << "\n";
+      }
       write_bytes(args[1], report::render_sharded_report(analytics, mapping_for(cli.get("map"))));
       std::cout << "sharded report over " << files.size() << " trace files (x" << sopts.shards
                 << " workers) written to " << args[1] << "\n";
     } else if (command == "export") {
       if (args.size() != 2) throw ParseError("export takes one elog file");
-      const auto log = elog::read_event_log_file(args[1]);
+      const auto log = read_elog(args[1], cli);
       const auto f = mapping_for(cli.get("map"));
       std::cout << dfg::stats_to_csv(dfg::IoStatistics::compute(log, f));
     } else {

@@ -55,6 +55,10 @@ int main(int argc, char** argv) {
                "single-pass HTML report straight from trace files (parse, DFG, case table and "
                "variants fold on one pool; overrides --render)",
                std::nullopt, true);
+  cli.add_flag("keep-going",
+               "quarantine unreadable/unparseable inputs with a warning instead of aborting "
+               "(default: fail fast)",
+               std::nullopt, true);
   try {
     cli.parse(argc, argv);
 
@@ -82,6 +86,8 @@ int main(int argc, char** argv) {
                          "report for a filtered staged report)");
       }
       ThreadPool pool(thread_count(cli));
+      pipeline::StreamOptions stream_opts;
+      stream_opts.keep_going = cli.get_bool("keep-going");
       report::ReportOptions report_opts;
       report_opts.title = "trace_explorer report";
       report_opts.description = "single-pass streaming report, mapping: " + f.name();
@@ -92,7 +98,8 @@ int main(int argc, char** argv) {
         }
         report_opts.timeline_activity = std::move(activity);
       }
-      const auto result = report::streaming_report(cli.positional(), f, pool, report_opts);
+      const auto result =
+          report::streaming_report(cli.positional(), f, pool, report_opts, stream_opts);
       for (const auto& w : result.log.warnings()) std::cerr << "warning: " << w << "\n";
       std::cout << result.html;
       return 0;
@@ -119,23 +126,32 @@ int main(int argc, char** argv) {
         // conversion and (when nothing narrows or extends the log
         // afterwards) DFG construction all overlap on one shared pool.
         ThreadPool pool(thread_count(cli));
+        pipeline::StreamOptions stream_opts;
+        stream_opts.keep_going = cli.get_bool("keep-going");
         if (!cli.has("filter") && elogs.empty()) {
           // Nothing narrows or extends the log afterwards, so the DFG
           // AND the activity statistics fold in the same pass — no
           // staged post-pass walk of the assembled log.
           pipeline::DfgSink graph_sink(f);
           pipeline::IoStatsSink io_sink(f);
-          log = pipeline::run(traces, pool, {&graph_sink, &io_sink});
+          log = pipeline::run(traces, pool, {&graph_sink, &io_sink}, stream_opts);
           streamed_graph = graph_sink.take_graph();
           streamed_io = io_sink.take_partial();
         } else {
-          log = pipeline::event_log_streamed(traces, pool);
+          log = pipeline::event_log_streamed(traces, pool, stream_opts);
         }
       }
       // Ingestion warnings before the union: derived logs drop them.
       for (const auto& w : log.warnings()) std::cerr << "warning: " << w << "\n";
       for (const auto& p : elogs) {
-        log = model::EventLog::merge(log, elog::read_event_log_file(p));
+        try {
+          log = model::EventLog::merge(
+              log, elog::read_event_log_file(
+                       p, elog::ElogReadOptions{cli.get_bool("keep-going")}));
+        } catch (const IoError& e) {
+          if (!cli.get_bool("keep-going")) throw;
+          std::cerr << "warning: " << p << ": skipped: " << e.what() << "\n";
+        }
       }
     }
     if (cli.has("filter")) log = log.filter_fp(cli.get("filter"));

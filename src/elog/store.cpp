@@ -240,13 +240,17 @@ model::EventLog read_event_log(std::istream& in) {
 }
 
 model::EventLog read_event_log_file(const std::string& path) {
+  return read_event_log_file(path, ElogReadOptions{});
+}
+
+model::EventLog read_event_log_file(const std::string& path, const ElogReadOptions& opts) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw IoError("cannot open elog file: " + path);
   std::string magic(kMagicV2.size(), '\0');
   in.read(magic.data(), static_cast<std::streamsize>(magic.size()));
   if (static_cast<std::size_t>(in.gcount()) == kMagicV2.size() && magic == kMagicV2) {
     in.close();
-    return read_event_log_v2(open_v2(path));
+    return read_event_log_v2(open_v2(path), V2ReadOptions{opts.keep_going});
   }
   in.clear();
   in.seekg(0);

@@ -29,6 +29,18 @@ void write_event_log_file(const std::string& path, const model::EventLog& log);
 [[nodiscard]] model::EventLog read_event_log(std::istream& in);
 [[nodiscard]] model::EventLog read_event_log_file(const std::string& path);
 
+struct ElogReadOptions {
+  /// true: a v2 case section failing CRC is quarantined with a warning
+  /// on the returned log instead of aborting the read (v2_store.hpp
+  /// V2ReadOptions). v1 stays fail-fast either way — its chunk stream
+  /// has no per-case recovery boundary.
+  bool keep_going = false;
+};
+
+/// Graceful-degradation variant of read_event_log_file.
+[[nodiscard]] model::EventLog read_event_log_file(const std::string& path,
+                                                  const ElogReadOptions& opts);
+
 /// Incremental writer: cases are appended one at a time (e.g. as trace
 /// files finish parsing) without holding the whole log in memory. The
 /// case count lives at a fixed offset after the magic and is patched

@@ -6,6 +6,7 @@
 
 #include "support/crc32.hpp"
 #include "support/errors.hpp"
+#include "support/faultpoint.hpp"
 
 namespace st::elog {
 
@@ -225,6 +226,7 @@ void write_event_log_v2_file(const std::string& path, const model::EventLog& log
 std::shared_ptr<MappedElog> MappedElog::from_buffer(
     std::shared_ptr<strace::TraceBuffer> buffer) {
   if (!buffer) throw LogicError("MappedElog::from_buffer: null buffer");
+  FAULT_POINT("elog.open");
   std::shared_ptr<MappedElog> m(new MappedElog());
   m->buffer_ = std::move(buffer);
   m->file_ = m->buffer_->text();
@@ -362,6 +364,10 @@ std::shared_ptr<MappedElog> MappedElog::from_buffer(
 void MappedElog::validate_section(std::size_t index) const {
   std::atomic<bool>& flag = validated_[index];
   if (flag.load(std::memory_order_acquire)) return;
+  // After the already-validated check, so the fault's nth counter
+  // counts actual validations: hit 1 is the case directory at open,
+  // then pool + six columns per first-touched case.
+  FAULT_POINT("elog.crc");
   const SectionEntry& e = entries_[index];
   if (Crc32::of(file_.data() + e.offset, e.length) != e.crc) {
     throw IoError("elog v2: crc mismatch in section " + section_label(e));
@@ -490,6 +496,29 @@ model::EventLog read_event_log_v2(std::shared_ptr<MappedElog> mapped) {
   model::EventLog log;
   for (std::size_t i = 0; i < mapped->case_count(); ++i) log.add_case(mapped->case_at(i));
   // The events view straight into the mapping; the log owns it now.
+  log.adopt(std::move(mapped));
+  return log;
+}
+
+model::EventLog read_event_log_v2(std::shared_ptr<MappedElog> mapped,
+                                  const V2ReadOptions& opts) {
+  if (!opts.keep_going) return read_event_log_v2(std::move(mapped));
+  model::EventLog log;
+  for (std::size_t i = 0; i < mapped->case_count(); ++i) {
+    try {
+      log.add_case(mapped->case_at(i));
+    } catch (const IoError& e) {
+      // One corrupt section loses its case, not the corpus. The label
+      // prefers the case id, but the pool holding it may itself be the
+      // corrupt section — fall back to the index alone.
+      std::string label = "case " + std::to_string(i);
+      try {
+        label += " (" + mapped->case_id(i).to_string() + ")";
+      } catch (const IoError&) {
+      }
+      log.add_warning(label + " quarantined: " + e.what());
+    }
+  }
   log.adopt(std::move(mapped));
   return log;
 }

@@ -203,6 +203,18 @@ class MappedElog {
 /// the log stands alone like any other ingested log.
 [[nodiscard]] model::EventLog read_event_log_v2(std::shared_ptr<MappedElog> mapped);
 
+struct V2ReadOptions {
+  /// true: a case whose sections fail CRC (or decode) is quarantined
+  /// with a "case N (id) quarantined: ..." warning on the returned log
+  /// instead of aborting the read. false: identical to the plain
+  /// overload (first IoError propagates).
+  bool keep_going = false;
+};
+
+/// Graceful-degradation variant of read_event_log_v2.
+[[nodiscard]] model::EventLog read_event_log_v2(std::shared_ptr<MappedElog> mapped,
+                                                const V2ReadOptions& opts);
+
 /// CaseSink writing elog v2 in the same streamed pipeline::run pass as
 /// any other analytic: fold() encodes the case's columns on the pool
 /// thread (carrying the case's owners in the partial), merge() appends

@@ -10,6 +10,7 @@
 #include "strace/trace_buffer.hpp"
 #include "support/crc32.hpp"
 #include "support/errors.hpp"
+#include "support/faultpoint.hpp"
 
 namespace st::pipeline {
 
@@ -481,6 +482,7 @@ dfg::EdgeStatistics::Partial decode_edge_stats_partial(const PartialReader& r) {
 void ShardPartial::merge(ShardPartial&& other) {
   case_count += other.case_count;
   total_events += other.total_events;
+  health.merge_counters(other.health);
   // Same consecutive-duplicate collapse pipeline::run applies while
   // assembling warnings, re-applied at the shard seam so the
   // concatenation equals one in-process run's warning list.
@@ -511,6 +513,10 @@ std::string encode_shard_partial(const ShardPartial& p) {
   put_uvarint(meta, p.total_events);
   put_uvarint(meta, p.warnings.size());
   for (const std::string& warning : p.warnings) put_uvarint(meta, w.intern(warning));
+  put_uvarint(meta, p.health.files_requested);
+  put_uvarint(meta, p.health.files_ingested);
+  put_uvarint(meta, p.health.files_skipped);
+  put_uvarint(meta, p.health.cases_quarantined);
   w.add_section(PartialSection::kMeta, std::move(meta));
   encode_dfg_partial(w, p.graph);
   encode_case_stats_partial(w, p.case_summaries);
@@ -523,6 +529,11 @@ std::string encode_shard_partial(const ShardPartial& p) {
 }
 
 ShardPartial decode_shard_partial(std::string_view blob) {
+  // Injection point for the coordinator's corrupt-blob handling: a
+  // truncated/bit-flipped view must fail the PartialReader's eager
+  // validation below with IoError (retryable at the shard layer).
+  std::string scratch;
+  if (fault::armed()) blob = fault::corrupt_view("codec.decode", blob, scratch);
   const PartialReader r(blob);
   ShardPartial p;
   Cursor meta(r.section(PartialSection::kMeta));
@@ -533,6 +544,10 @@ ShardPartial decode_shard_partial(std::string_view blob) {
   for (std::size_t i = 0; i < warnings; ++i) {
     p.warnings.emplace_back(r.pool_string(meta.uvarint()));
   }
+  p.health.files_requested = meta.uvarint();
+  p.health.files_ingested = meta.uvarint();
+  p.health.files_skipped = meta.uvarint();
+  p.health.cases_quarantined = meta.uvarint();
   meta.expect_exhausted();
   p.graph = decode_dfg_partial(r);
   p.case_summaries = decode_case_stats_partial(r);

@@ -26,7 +26,9 @@
 //
 // Section kinds:
 //   1 StringPool   u32 count | u32 reserved(0) | u32 end_offset[count] | blob
-//   2 Meta         case_count, total_events, ingestion warnings
+//   2 Meta         case_count, total_events, ingestion warnings,
+//                  data-health counters (requested/ingested/skipped/
+//                  quarantined)
 //   3 Dfg          nodes, edges, trace count
 //   4 CaseStats    CaseSummary sequence (input order)
 //   5 ActivityLog  variants + per-case traces + activity set + counters
@@ -50,6 +52,7 @@
 #include "model/activity_log.hpp"
 #include "model/case_stats.hpp"
 #include "model/event_log.hpp"
+#include "pipeline/sink.hpp"
 
 namespace st::pipeline {
 
@@ -152,6 +155,9 @@ struct ShardPartial {
   std::uint64_t case_count = 0;
   std::uint64_t total_events = 0;
   std::vector<std::string> warnings;  ///< path-prefixed, input order
+  /// Counters only (warnings_by_class is recomputed by the coordinator
+  /// from the merged warning list so classes match the streamed run).
+  DataHealth health;
   dfg::Dfg graph;
   std::vector<model::CaseSummary> case_summaries;
   model::ActivityLog activity_log;

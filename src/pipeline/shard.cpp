@@ -1,15 +1,20 @@
 #include "pipeline/shard.hpp"
 
+#include <dirent.h>
+#include <signal.h>
 #include <spawn.h>
 #include <sys/wait.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <span>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "model/mapping.hpp"
@@ -17,6 +22,7 @@
 #include "parallel/thread_pool.hpp"
 #include "strace/filename.hpp"
 #include "support/errors.hpp"
+#include "support/faultpoint.hpp"
 #include "support/strings.hpp"
 
 extern char** environ;
@@ -27,11 +33,17 @@ namespace {
 
 [[nodiscard]] std::string read_file_bytes(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw IoError("cannot open shard partial: " + path);
+  if (!in) {
+    throw IoError("cannot open shard partial: " + path + ": " + std::strerror(errno));
+  }
   std::ostringstream bytes;
   bytes << in.rdbuf();
-  if (in.bad()) throw IoError("cannot read shard partial: " + path);
-  return std::move(bytes).str();
+  if (in.bad()) {
+    throw IoError("cannot read shard partial: " + path + ": " + std::strerror(errno));
+  }
+  std::string out = std::move(bytes).str();
+  FAULT_POINT_DATA("shard.blob_read", out);
+  return out;
 }
 
 /// mkdtemp-backed scratch directory for the shard blobs, removed on
@@ -57,79 +69,288 @@ struct TempDir {
   }
 };
 
-/// Spawns one fold-shard subprocess per split, waits for ALL of them,
-/// then surfaces the lowest-shard-index failure (matching the
-/// lowest-input-index-wins error contract of pipeline::run). Blobs are
-/// read back in shard order.
-[[nodiscard]] std::vector<std::string> fold_shards_spawned(
-    const std::vector<std::vector<std::string>>& splits, const ShardOptions& opts) {
-  const TempDir tmp;
-  struct Child {
-    pid_t pid = -1;
-    std::string out;
-    std::string error;
-  };
-  std::vector<Child> children(splits.size());
+/// EINTR-retried waitpid (a debugger or profiler signal must not turn
+/// into a phantom shard failure).
+[[nodiscard]] pid_t waitpid_retry(pid_t pid, int* status, int flags) {
+  while (true) {
+    const pid_t r = ::waitpid(pid, status, flags);
+    if (r >= 0 || errno != EINTR) return r;
+  }
+}
 
-  for (std::size_t i = 0; i < splits.size(); ++i) {
-    Child& child = children[i];
-    child.out = tmp.path + "/shard_" + std::to_string(i) + ".partial";
-    std::vector<std::string> args = {opts.fold_shard_exe, "fold-shard", child.out,
-                                     "--map", opts.mapping};
-    if (opts.worker_threads != 0) {
+/// Human-readable wait(2) status: the WIFSIGNALED/WTERMSIG/exit-status
+/// detail a coordinator needs to tell a crash from a nonzero exit.
+[[nodiscard]] std::string exit_detail(int status) {
+  if (WIFEXITED(status)) {
+    return "exited with status " + std::to_string(WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    const int sig = WTERMSIG(status);
+    const char* name = ::strsignal(sig);
+    return "killed by signal " + std::to_string(sig) +
+           (name != nullptr ? " (" + std::string(name) + ")" : std::string());
+  }
+  return "ended with wait status " + std::to_string(status);
+}
+
+/// Queues a close action for every inherited fd above stdio, so
+/// long-lived children can't pin the coordinator's mmaps, pipes or
+/// temp files. Best effort: without /proc the child just inherits, as
+/// before. The list is snapshotted under no lock — a racing close would
+/// make an addclose action fail the spawn, which the retry/fallback
+/// path absorbs like any other transient spawn failure.
+void add_close_inherited_fds(posix_spawn_file_actions_t& actions) {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return;
+  const int self = ::dirfd(dir);
+  std::vector<int> fds;
+  while (dirent* entry = ::readdir(dir)) {
+    char* end = nullptr;
+    const long fd = std::strtol(entry->d_name, &end, 10);
+    if (end == entry->d_name || *end != '\0') continue;
+    if (fd <= 2 || fd == self) continue;
+    fds.push_back(static_cast<int>(fd));
+  }
+  ::closedir(dir);
+  for (const int fd : fds) ::posix_spawn_file_actions_addclose(&actions, fd);
+}
+
+struct SpawnedResult {
+  std::vector<ShardPartial> parts;  ///< shard order
+  ShardRunReport report;
+};
+
+/// The supervising coordinator (ISSUE 8). Spawns one fold-shard
+/// subprocess per split and polls them: a clean exit's blob is read and
+/// decoded (missing, unreadable or CRC-rejected blobs are RETRYABLE
+/// failures, same as a crash or a deadline kill); a failed attempt
+/// respawns with backoff, up to opts.max_attempts, with ST_FAULTS
+/// scrubbed from the retry environment; an exhausted shard falls back
+/// to an in-process fold. Only a shard whose fallback also failed (or
+/// was disabled) is fatal — reported lowest shard index first.
+class Supervisor {
+ public:
+  Supervisor(const std::vector<std::vector<std::string>>& splits, const ShardOptions& opts)
+      : splits_(splits), opts_(opts), shards_(splits.size()) {
+    result_.report.shards.resize(splits.size());
+    for (std::size_t i = 0; i < splits.size(); ++i) {
+      shards_[i].out_path = tmp_.path + "/shard_" + std::to_string(i) + ".partial";
+    }
+  }
+
+  [[nodiscard]] SpawnedResult run() {
+    for (std::size_t i = 0; i < shards_.size(); ++i) start_attempt(i);
+    poll_until_settled();
+
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      if (!shards_[i].fatal.empty()) throw IoError(shards_[i].fatal);
+    }
+    result_.parts.reserve(shards_.size());
+    for (ShardState& s : shards_) result_.parts.push_back(std::move(*s.part));
+    return std::move(result_);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct ShardState {
+    std::string out_path;
+    pid_t pid = -1;
+    std::size_t attempts = 0;
+    Clock::time_point deadline{};
+    bool timed_out = false;  ///< current attempt hit its deadline
+    std::optional<ShardPartial> part;
+    std::string fatal;
+
+    [[nodiscard]] bool settled() const { return part.has_value() || !fatal.empty(); }
+  };
+
+  void start_attempt(std::size_t i) {
+    ShardState& s = shards_[i];
+    ++s.attempts;
+    ++result_.report.shards[i].attempts;
+    s.timed_out = false;
+    // A killed attempt may have left a stale/partial blob behind.
+    std::error_code ec;
+    std::filesystem::remove(s.out_path, ec);
+
+    std::vector<std::string> args = {opts_.fold_shard_exe, "fold-shard", s.out_path,
+                                     "--map", opts_.mapping};
+    if (opts_.worker_threads != 0) {
       args.emplace_back("--threads");
-      args.emplace_back(std::to_string(opts.worker_threads));
+      args.emplace_back(std::to_string(opts_.worker_threads));
     }
-    if (opts.query_fp) {
+    if (opts_.query_fp) {
       args.emplace_back("--fp");
-      args.emplace_back(*opts.query_fp);
+      args.emplace_back(*opts_.query_fp);
     }
-    if (opts.query_calls) {
+    if (opts_.query_calls) {
       args.emplace_back("--calls");
-      args.emplace_back(*opts.query_calls);
+      args.emplace_back(*opts_.query_calls);
     }
-    args.insert(args.end(), splits[i].begin(), splits[i].end());
+    if (opts_.stream.keep_going) args.emplace_back("--keep-going");
+    args.emplace_back("--shard-index");
+    args.emplace_back(std::to_string(i));
+    args.insert(args.end(), splits_[i].begin(), splits_[i].end());
 
     std::vector<char*> argv;
     argv.reserve(args.size() + 1);
     for (std::string& a : args) argv.push_back(a.data());
     argv.push_back(nullptr);
 
-    pid_t pid = -1;
-    const int rc = posix_spawn(&pid, opts.fold_shard_exe.c_str(), nullptr, nullptr, argv.data(),
-                               environ);
-    if (rc != 0) {
-      child.error = "shard " + std::to_string(i) + ": cannot spawn " + opts.fold_shard_exe +
-                    ": " + std::strerror(rc);
-    } else {
-      child.pid = pid;
+    try {
+      FAULT_POINT("shard.spawn");
+      posix_spawn_file_actions_t actions;
+      ::posix_spawn_file_actions_init(&actions);
+      add_close_inherited_fds(actions);
+      pid_t pid = -1;
+      char** env =
+          s.attempts == 1 || opts_.keep_faults_on_retry ? environ : retry_environment();
+      const int rc = ::posix_spawn(&pid, opts_.fold_shard_exe.c_str(), &actions, nullptr,
+                                   argv.data(), env);
+      ::posix_spawn_file_actions_destroy(&actions);
+      if (rc != 0) {
+        throw IoError("cannot spawn " + opts_.fold_shard_exe + ": " + std::strerror(rc));
+      }
+      s.pid = pid;
+      if (opts_.shard_timeout_ms != 0) {
+        s.deadline = Clock::now() + std::chrono::milliseconds(opts_.shard_timeout_ms);
+      }
+    } catch (const Error& e) {
+      s.pid = -1;
+      attempt_failed(i, e.what());
     }
   }
 
-  // Await every child before throwing, so no shard is left running
-  // against a deleted temp dir.
-  for (std::size_t i = 0; i < children.size(); ++i) {
-    Child& child = children[i];
-    if (child.pid < 0) continue;
-    int status = 0;
-    if (waitpid(child.pid, &status, 0) < 0) {
-      child.error = "shard " + std::to_string(i) + ": waitpid failed: " + std::strerror(errno);
-    } else if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
-      child.error = "shard " + std::to_string(i) + ": fold-shard subprocess failed (" +
-                    opts.fold_shard_exe + ")";
+  void attempt_failed(std::size_t i, std::string detail) {
+    ShardState& s = shards_[i];
+    s.pid = -1;
+    auto& rep = result_.report.shards[i];
+    rep.failures.push_back("attempt " + std::to_string(s.attempts) + ": " +
+                           std::move(detail));
+    if (s.attempts < opts_.max_attempts) {
+      if (opts_.retry_backoff_ms != 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(static_cast<std::uint64_t>(opts_.retry_backoff_ms) *
+                                      s.attempts));
+      }
+      start_attempt(i);  // bounded mutual recursion: depth <= max_attempts
+      return;
     }
-  }
-  for (const Child& child : children) {
-    if (!child.error.empty()) throw IoError(child.error);
+    if (opts_.fallback_in_process) {
+      try {
+        // The subprocess was an optimization; the bytes are still
+        // reachable right here. Still through the codec, so the two
+        // paths cannot drift.
+        s.part = decode_shard_partial(fold_shard(splits_[i], opts_));
+        rep.fell_back = true;
+        return;
+      } catch (const Error& e) {
+        s.fatal = "shard " + std::to_string(i) + ": in-process fallback failed: " + e.what();
+        return;
+      }
+    }
+    s.fatal = "shard " + std::to_string(i) + ": fold-shard failed after " +
+              std::to_string(s.attempts) + " attempt(s): " + rep.failures.back();
   }
 
-  std::vector<std::string> blobs;
-  blobs.reserve(children.size());
-  for (const Child& child : children) blobs.push_back(read_file_bytes(child.out));
-  return blobs;
-}
+  void poll_until_settled() {
+    while (true) {
+      bool progressed = false;
+      bool pending = false;
+      for (std::size_t i = 0; i < shards_.size(); ++i) {
+        ShardState& s = shards_[i];
+        if (s.settled() || s.pid < 0) continue;
+        int status = 0;
+        const pid_t r = waitpid_retry(s.pid, &status, WNOHANG);
+        if (r == 0) {
+          pending = true;
+          if (opts_.shard_timeout_ms != 0 && !s.timed_out && Clock::now() >= s.deadline) {
+            ::kill(s.pid, SIGKILL);  // reaped (as signaled) on a later poll
+            s.timed_out = true;
+          }
+          continue;
+        }
+        progressed = true;
+        if (r < 0) {
+          attempt_failed(i, std::string("waitpid failed: ") + std::strerror(errno));
+        } else if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+          try {
+            s.part = decode_shard_partial(read_file_bytes(s.out_path));
+          } catch (const Error& e) {
+            attempt_failed(i, std::string("shard partial rejected: ") + e.what());
+          }
+        } else {
+          std::string detail = exit_detail(status);
+          if (s.timed_out) {
+            detail += " after the " + std::to_string(opts_.shard_timeout_ms) +
+                      "ms deadline expired";
+          }
+          attempt_failed(i, std::move(detail));
+        }
+        pending = pending || (!s.settled() && s.pid >= 0);
+      }
+      if (!pending) return;
+      if (!progressed) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+  /// The retry environment: the coordinator's, minus ST_FAULTS. Every
+  /// child parses ST_FAULTS afresh at startup, so an env-injected
+  /// "nth=1" fault would otherwise re-fire in EVERY respawn — scrubbing
+  /// is what makes retries heal injected faults (the supervised
+  /// analogue of a transient failure not recurring).
+  [[nodiscard]] char** retry_environment() {
+    if (retry_env_.empty()) {
+      for (char** e = environ; *e != nullptr; ++e) {
+        if (std::strncmp(*e, "ST_FAULTS=", 10) == 0) continue;
+        retry_store_.emplace_back(*e);
+      }
+      retry_env_.reserve(retry_store_.size() + 1);
+      for (std::string& v : retry_store_) retry_env_.push_back(v.data());
+      retry_env_.push_back(nullptr);
+    }
+    return retry_env_.data();
+  }
+
+  const std::vector<std::vector<std::string>>& splits_;
+  const ShardOptions& opts_;
+  const TempDir tmp_;
+  std::vector<ShardState> shards_;
+  SpawnedResult result_;
+  std::vector<std::string> retry_store_;
+  std::vector<char*> retry_env_;
+};
 
 }  // namespace
+
+std::size_t ShardRunReport::total_retries() const {
+  std::size_t retries = 0;
+  for (const Shard& s : shards) retries += s.attempts > 1 ? s.attempts - 1 : 0;
+  return retries;
+}
+
+std::size_t ShardRunReport::total_fallbacks() const {
+  return static_cast<std::size_t>(
+      std::count_if(shards.begin(), shards.end(), [](const Shard& s) { return s.fell_back; }));
+}
+
+std::vector<std::string> ShardRunReport::to_lines() const {
+  std::vector<std::string> lines;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const Shard& s = shards[i];
+    if (s.attempts <= 1 && !s.fell_back && s.failures.empty()) continue;
+    std::string line =
+        "shard " + std::to_string(i) + ": " + std::to_string(s.attempts) + " attempt(s)";
+    if (s.fell_back) line += ", recovered by in-process fallback";
+    for (const std::string& failure : s.failures) {
+      line += "; ";
+      line += failure;
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
 
 std::string fold_shard(const std::vector<std::string>& paths, const ShardOptions& opts) {
   const model::Mapping f = model::mapping_by_name(opts.mapping);
@@ -157,13 +378,15 @@ std::string fold_shard(const std::vector<std::string>& paths, const ShardOptions
     sinks.push_back(&*query_sink);
   }
 
+  DataHealth health;
   const model::EventLog log =
-      run(paths, pool, std::span<CaseSink* const>(sinks), opts.stream);
+      run(paths, pool, std::span<CaseSink* const>(sinks), opts.stream, &health);
 
   ShardPartial p;
   p.case_count = log.case_count();
   p.total_events = log.total_events();
   p.warnings = log.warnings();
+  p.health = std::move(health);  // only the counters travel in the blob
   p.graph = graph_sink.take_graph();
   p.case_summaries = stats_sink.take_summaries();
   p.activity_log = activity_sink.take_log();
@@ -190,16 +413,26 @@ ShardedAnalytics finalize_shards(std::vector<ShardPartial> parts) {
   out.edge_stats = total.edges.finalize();
   out.io_partial = std::move(total.io);
   out.filtered = std::move(total.filtered);
+  // Counters summed shard by shard; the class tally is recomputed from
+  // the merged warning list so it matches the streamed run exactly.
+  out.health = std::move(total.health);
+  out.health.warnings_by_class.clear();
+  out.health.classify(out.warnings);
   return out;
 }
 
 ShardedAnalytics run_sharded(const std::vector<std::string>& paths, const ShardOptions& opts) {
   if (opts.shards == 0) throw LogicError("run_sharded: shards must be >= 1");
+  if (opts.max_attempts == 0) throw LogicError("run_sharded: max_attempts must be >= 1");
   // Same pre-I/O filename validation (and first-offender-in-input-order
-  // error) as pipeline::run, BEFORE any subprocess spawns.
-  for (const std::string& path : paths) {
-    if (!strace::parse_trace_filename(path)) {
-      throw ParseError("trace file name does not follow cid_host_rid.st: " + path);
+  // error) as pipeline::run, BEFORE any subprocess spawns. Under
+  // keep_going the offenders stay in their split — each shard's run
+  // quarantines them with the exact warning the streamed run emits.
+  if (!opts.stream.keep_going) {
+    for (const std::string& path : paths) {
+      if (!strace::parse_trace_filename(path)) {
+        throw ParseError("trace file name does not follow cid_host_rid.st: " + path);
+      }
     }
   }
 
@@ -211,18 +444,22 @@ ShardedAnalytics run_sharded(const std::vector<std::string>& paths, const ShardO
     if (lo < hi) splits.emplace_back(paths.begin() + lo, paths.begin() + hi);
   }
 
-  std::vector<std::string> blobs;
+  std::vector<ShardPartial> parts;
+  ShardRunReport report;
   if (opts.fold_shard_exe.empty()) {
-    blobs.reserve(splits.size());
-    for (const std::vector<std::string>& s : splits) blobs.push_back(fold_shard(s, opts));
+    parts.reserve(splits.size());
+    for (const std::vector<std::string>& s : splits) {
+      parts.push_back(decode_shard_partial(fold_shard(s, opts)));
+    }
   } else {
-    blobs = fold_shards_spawned(splits, opts);
+    SpawnedResult spawned = Supervisor(splits, opts).run();
+    parts = std::move(spawned.parts);
+    report = std::move(spawned.report);
   }
 
-  std::vector<ShardPartial> parts;
-  parts.reserve(blobs.size());
-  for (const std::string& blob : blobs) parts.push_back(decode_shard_partial(blob));
-  return finalize_shards(std::move(parts));
+  ShardedAnalytics out = finalize_shards(std::move(parts));
+  out.shard_report = std::move(report);
+  return out;
 }
 
 }  // namespace st::pipeline

@@ -19,12 +19,27 @@
 //   - fold_shard_exe = <path>  each shard is a spawned subprocess:
 //                                <exe> fold-shard <out.partial>
 //                                      --map <name> [--threads N]
-//                                      [--fp S] [--calls a,b] <traces...>
+//                                      [--fp S] [--calls a,b]
+//                                      [--keep-going]
+//                                      [--shard-index I] <traces...>
 //                              (elog_tool implements the verb). The
-//                              coordinator posix_spawns all shards,
-//                              waits for every one, surfaces the
-//                              LOWEST-shard-index failure first, and
-//                              reads the blobs in shard order.
+//                              coordinator posix_spawns all shards and
+//                              SUPERVISES them (ISSUE 8): per-shard
+//                              deadline with SIGKILL on expiry, bounded
+//                              retries with backoff (crashed children,
+//                              missing or CRC-rejected blobs are all
+//                              retryable; retries scrub ST_FAULTS from
+//                              the child environment so injected
+//                              one-shot faults heal), and a final
+//                              in-process fold_shard fallback — a
+//                              transiently failing child still yields
+//                              output byte-identical to the clean run.
+//                              Only exhausted shards (fallback failed
+//                              or disabled) throw, lowest shard index
+//                              first. What happened per shard lands in
+//                              ShardedAnalytics::shard_report, NEVER in
+//                              the analytics warnings (which must stay
+//                              byte-identical to the streamed run).
 //
 // The mapping crosses the process boundary by its short CLI name
 // (model::mapping_by_name) — the one registry both sides resolve
@@ -32,6 +47,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -65,10 +81,46 @@ struct ShardOptions {
   std::optional<std::string> query_fp;
   std::optional<std::string> query_calls;
 
-  /// Streaming knobs for in-process folds (NOT forwarded to
-  /// subprocesses; by the pipeline's determinism contract they cannot
-  /// change any output byte, only memory behavior).
+  /// Streaming knobs for in-process folds. Only `keep_going` crosses
+  /// the process boundary (as --keep-going — it changes output);
+  /// memory-behavior knobs are not forwarded, by the determinism
+  /// contract they cannot change any output byte.
   StreamOptions stream;
+
+  // -- supervision (spawned mode only) -----------------------------------
+
+  /// Spawn attempts per shard before falling back (>= 1).
+  std::size_t max_attempts = 3;
+  /// Sleep before retry r is attempt_backoff_ms * r (linear).
+  std::uint32_t retry_backoff_ms = 10;
+  /// Wall-clock budget per attempt; expiry SIGKILLs the child and
+  /// counts as a failed attempt. 0 disables the deadline.
+  std::uint32_t shard_timeout_ms = 120'000;
+  /// After the last failed attempt, fold the shard in-process (the
+  /// subprocess is an optimization, not the only way to the bytes).
+  /// false: exhausted shards throw IoError instead.
+  bool fallback_in_process = true;
+  /// Keep ST_FAULTS in retried children's environment (tests of the
+  /// persistent-failure -> fallback path; default scrubs it so
+  /// injected one-shot faults heal on retry).
+  bool keep_faults_on_retry = false;
+};
+
+/// What supervision did, per shard — surfaced via `elog_tool
+/// report-sharded` diagnostics. Deliberately NOT part of the analytics
+/// (a recovered run's report must stay byte-identical to a clean one).
+struct ShardRunReport {
+  struct Shard {
+    std::size_t attempts = 0;           ///< spawn attempts made
+    bool fell_back = false;             ///< recovered by the in-process fold
+    std::vector<std::string> failures;  ///< one line per failed attempt
+  };
+  std::vector<Shard> shards;
+
+  [[nodiscard]] std::size_t total_retries() const;
+  [[nodiscard]] std::size_t total_fallbacks() const;
+  /// One human-readable line per shard that needed intervention.
+  [[nodiscard]] std::vector<std::string> to_lines() const;
 };
 
 /// Everything the merged shard partials finalize into: the same
@@ -88,6 +140,11 @@ struct ShardedAnalytics {
   dfg::IoStatistics::Partial io_partial;
   /// Present iff a query ran: the filtered log, cases in input order.
   std::optional<model::EventLog> filtered;
+  /// Data-health counters summed across shards + warning classes
+  /// recomputed from the merged warning list (== the streamed run's).
+  DataHealth health;
+  /// Supervision outcome (spawned mode; empty shards otherwise).
+  ShardRunReport shard_report;
 };
 
 /// One shard's whole job: streams `paths` through pipeline::run with
@@ -103,7 +160,9 @@ struct ShardedAnalytics {
 
 /// Splits `paths` across opts.shards shards, folds each (subprocess or
 /// in-process per opts.fold_shard_exe), decodes and merges the blobs
-/// in shard order. Throws the lowest-shard-index failure; IoError for
+/// in shard order. Spawned shards run under supervision (retry /
+/// timeout / fallback, see ShardOptions); only an unrecoverable shard
+/// throws — the lowest-shard-index failure first, IoError for
 /// subprocess/blob problems.
 [[nodiscard]] ShardedAnalytics run_sharded(const std::vector<std::string>& paths,
                                            const ShardOptions& opts);

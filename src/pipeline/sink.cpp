@@ -14,6 +14,7 @@
 #include "parallel/thread_pool.hpp"
 #include "strace/filename.hpp"
 #include "support/errors.hpp"
+#include "support/faultpoint.hpp"
 
 namespace st::pipeline {
 
@@ -37,20 +38,109 @@ struct Ready {
 
 constexpr std::size_t kNoError = std::numeric_limits<std::size_t>::max();
 
+/// What happened to one input file, in input-index order.
+enum class Disp : unsigned char {
+  kOk,           ///< parsed, converted, merged
+  kSkipped,      ///< never ingested (bad name, unopenable, unparseable)
+  kQuarantined,  ///< parsed, but its case failed to convert or fold
+};
+
+/// Rethrows `e` to classify it. Data-shaped failures — IoError and
+/// ParseError, which include injected faults — may be quarantined
+/// under keep_going; LogicError and foreign exceptions never are.
+bool quarantinable(const std::exception_ptr& e, std::string& what) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const LogicError&) {
+    return false;
+  } catch (const ParseError& err) {
+    what = err.what();
+    return true;
+  } catch (const IoError& err) {
+    what = err.what();
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
 }  // namespace
 
+std::string_view classify_warning(std::string_view warning) {
+  // Order matters: a skip/quarantine message embeds the original error
+  // text, which may itself look like a line-level parse warning.
+  if (warning.find(": skipped: ") != std::string_view::npos) return "file-skipped";
+  if (warning.find("quarantined: ") != std::string_view::npos) return "case-quarantined";
+  if (warning.find("unfinished call never resumed") != std::string_view::npos) {
+    return "unfinished-call";
+  }
+  if (warning.find(": line ") != std::string_view::npos) return "malformed-line";
+  return "other";
+}
+
+void DataHealth::classify(std::span<const std::string> warnings) {
+  for (const auto& warning : warnings) {
+    ++warnings_by_class[std::string(classify_warning(warning))];
+  }
+}
+
+void DataHealth::merge_counters(const DataHealth& other) {
+  files_requested += other.files_requested;
+  files_ingested += other.files_ingested;
+  files_skipped += other.files_skipped;
+  cases_quarantined += other.cases_quarantined;
+}
+
 model::EventLog run(const std::vector<std::string>& paths, ThreadPool& pool,
-                    std::span<CaseSink* const> sinks, const StreamOptions& opts) {
+                    std::span<CaseSink* const> sinks, const StreamOptions& opts,
+                    DataHealth* health) {
+  const std::size_t n = paths.size();
+  const bool keep_going = opts.keep_going;
+
+  // Per-input-file disposition, settled as the stages advance; under
+  // keep_going a data failure flips a file to kSkipped/kQuarantined
+  // with the reason instead of aborting the run.
+  std::vector<Disp> disp(n, Disp::kOk);
+  std::vector<std::string> reason(n);
+
   // Validate every file name before any I/O: the error for a bad name
   // is deterministic (first offender in input order) and cheap.
-  std::vector<strace::TraceFileId> ids;
-  ids.reserve(paths.size());
-  for (const auto& path : paths) {
-    auto id = strace::parse_trace_filename(path);
-    if (!id) throw ParseError("trace file name does not follow cid_host_rid.st: " + path);
-    ids.push_back(std::move(*id));
+  std::vector<strace::TraceFileId> ids(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto id = strace::parse_trace_filename(paths[i]);
+    if (!id) {
+      const ParseError err("trace file name does not follow cid_host_rid.st: " + paths[i]);
+      if (!keep_going) throw err;
+      disp[i] = Disp::kSkipped;
+      reason[i] = err.what();
+      continue;
+    }
+    ids[i] = std::move(*id);
   }
-  const std::size_t n = paths.size();
+
+  // Open every surviving file in input order (same first-unopenable
+  // IoError contract read_trace_files_streamed had). Live indices are
+  // dense over the files that actually parse; input order is preserved,
+  // so lowest-live-index error ranking equals lowest-input-index.
+  std::vector<std::shared_ptr<strace::TraceBuffer>> buffers;
+  std::vector<std::size_t> live_to_orig;
+  std::vector<std::size_t> orig_to_live(n, kNoError);
+  buffers.reserve(n);
+  live_to_orig.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (disp[i] != Disp::kOk) continue;
+    try {
+      auto buffer = strace::TraceBuffer::from_file_mmap(paths[i]);
+      orig_to_live[i] = buffers.size();
+      live_to_orig.push_back(i);
+      buffers.push_back(std::move(buffer));
+    } catch (const IoError& e) {
+      if (!keep_going) throw;
+      disp[i] = Disp::kSkipped;
+      reason[i] = e.what();
+    }
+  }
+  const std::size_t live = buffers.size();
 
   strace::ParallelReadOptions read_opts = opts;
   read_opts.pool = &pool;
@@ -62,9 +152,13 @@ model::EventLog run(const std::vector<std::string>& paths, ThreadPool& pool,
       opts.queue_capacity != 0 ? opts.queue_capacity : 2 * pool.size();
   auto queue = std::make_shared<StageQueue<Ready>>(capacity);
 
-  auto handle = strace::read_trace_files_streamed(
-      paths, read_opts,
+  auto handle = strace::read_trace_buffers_streamed(
+      std::move(buffers), read_opts,
       [queue](std::size_t i, strace::ReadResult&& r) {
+        // A throw here (injected) lands in the parse stage's per-file
+        // error slot: the file quarantines or aborts like any parse
+        // failure, and its Ready never reaches the dispatcher.
+        FAULT_POINT("queue.push");
         // push() blocks while the dispatcher is behind — backpressure
         // on the parse stage. A false return (queue closed early by the
         // unwind guard below) just drops the result of a failing run.
@@ -88,15 +182,16 @@ model::EventLog run(const std::vector<std::string>& paths, ThreadPool& pool,
   // allocated HERE, before any conversion is dispatched: no throwing
   // operation may sit between dispatch and the await loop, or the
   // frame could unwind while tasks still point into `ids`/`sinks`.
-  std::vector<std::future<Converted>> futures(n);
-  std::vector<Converted> converted(n);
+  std::vector<std::future<Converted>> futures(live);
+  std::vector<Converted> converted(live);
   std::exception_ptr dispatch_error;
   while (auto ready = queue->pop()) {
     if (dispatch_error) continue;  // keep draining so stage A can finish
     const std::size_t i = ready->index;
     try {
       futures[i] = pool.submit(
-          [sinks, id = &ids[i], result = std::move(ready->result)]() mutable {
+          [sinks, id = &ids[live_to_orig[i]], result = std::move(ready->result)]() mutable {
+            FAULT_POINT("pipeline.convert");
             Converted out;
             // Small blocks: this arena holds exactly one case's
             // interned cid/host, and a swarm of small trace files must
@@ -107,6 +202,7 @@ model::EventLog run(const std::vector<std::string>& paths, ThreadPool& pool,
             out.buffer = std::move(result.buffer);
             out.partials.reserve(sinks.size());
             const CaseContext ctx{out.c, out.arena, out.buffer};
+            FAULT_POINT("sink.fold");
             for (CaseSink* sink : sinks) {
               auto partial = sink->make_partial();
               sink->fold(*partial, ctx);
@@ -128,35 +224,73 @@ model::EventLog run(const std::vector<std::string>& paths, ThreadPool& pool,
   handle.join();
   std::size_t err_index = kNoError;
   std::exception_ptr err;
-  for (std::size_t i = 0; i < n; ++i) {
+  const auto note = [&](std::size_t i, std::exception_ptr e) {
+    if (i < err_index) {
+      err_index = i;
+      err = std::move(e);
+    }
+  };
+  for (std::size_t i = 0; i < live; ++i) {
     if (!futures[i].valid()) continue;  // parse failed or dispatch stopped
     try {
       converted[i] = futures[i].get();
     } catch (...) {
-      if (i < err_index) {
-        err_index = i;
-        err = std::current_exception();
+      auto e = std::current_exception();
+      std::string what;
+      if (keep_going && quarantinable(e, what)) {
+        disp[live_to_orig[i]] = Disp::kQuarantined;
+        reason[live_to_orig[i]] = std::move(what);
+      } else {
+        note(i, std::move(e));
       }
     }
   }
-  if (const auto parse_error = handle.error()) {
-    // A file either failed to parse or failed to convert, never both.
-    if (parse_error->file_index < err_index) {
-      err_index = parse_error->file_index;
-      err = parse_error->error;
+  // A file either failed to parse or failed to convert, never both, so
+  // each input index settles exactly once across the two loops.
+  for (const auto& parse_error : handle.errors()) {
+    std::string what;
+    if (keep_going && quarantinable(parse_error.error, what)) {
+      disp[live_to_orig[parse_error.file_index]] = Disp::kSkipped;
+      reason[live_to_orig[parse_error.file_index]] = std::move(what);
+    } else {
+      note(parse_error.file_index, parse_error.error);
     }
   }
   if (!err && dispatch_error) err = dispatch_error;
   if (err) std::rethrow_exception(err);  // before any merge: sinks stay empty
 
+  // The one shot the injection matrix gets at the merge phase: BEFORE
+  // the first merge, so a firing fault still leaves every sink empty —
+  // never half-merged.
+  FAULT_POINT("sink.merge");
+
   // Assembly, strictly in input order: case order, event order and
   // warning order come out byte-identical to the staged path, and
   // every sink's partials merge in the same order. Arenas and buffers
-  // are adopted before the log escapes (lifetime contract).
+  // are adopted before the log escapes (lifetime contract). Skipped
+  // and quarantined files contribute their structured warning at their
+  // input-order slot and nothing else.
   model::EventLog log;
+  DataHealth h;
+  h.files_requested = n;
   std::string prefixed;  // reused "<path>: <warning>" buffer
+  const auto add_warning = [&log](std::string& text) {
+    // A malformed region repeating the same defect floods the log
+    // with copies of one message; keep the first of each run.
+    if (!log.warnings().empty() && log.warnings().back() == text) return;
+    log.add_warning(text);
+  };
   for (std::size_t i = 0; i < n; ++i) {
-    Converted& cv = converted[i];
+    if (disp[i] != Disp::kOk) {
+      prefixed.clear();
+      prefixed += paths[i];
+      prefixed += disp[i] == Disp::kSkipped ? ": skipped: " : ": case quarantined: ";
+      prefixed += reason[i];
+      add_warning(prefixed);
+      ++(disp[i] == Disp::kSkipped ? h.files_skipped : h.cases_quarantined);
+      continue;
+    }
+    Converted& cv = converted[orig_to_live[i]];
     if (cv.arena) log.adopt(std::move(cv.arena));
     log.add_case(std::move(cv.c));
     if (cv.buffer) log.adopt(std::move(cv.buffer));
@@ -166,21 +300,25 @@ model::EventLog run(const std::vector<std::string>& paths, ThreadPool& pool,
       prefixed += paths[i];
       prefixed += ": ";
       prefixed += warning;
-      // A malformed region repeating the same defect floods the log
-      // with copies of one message; keep the first of each run.
-      if (!log.warnings().empty() && log.warnings().back() == prefixed) continue;
-      log.add_warning(prefixed);
+      add_warning(prefixed);
     }
     for (std::size_t s = 0; s < sinks.size(); ++s) {
       sinks[s]->merge(std::move(cv.partials[s]));
     }
   }
+  if (health != nullptr) {
+    h.files_ingested = n - h.files_skipped - h.cases_quarantined;
+    h.classify(log.warnings());
+    *health = std::move(h);
+  }
   return log;
 }
 
 model::EventLog run(const std::vector<std::string>& paths, ThreadPool& pool,
-                    std::initializer_list<CaseSink*> sinks, const StreamOptions& opts) {
-  return run(paths, pool, std::span<CaseSink* const>(sinks.begin(), sinks.size()), opts);
+                    std::initializer_list<CaseSink*> sinks, const StreamOptions& opts,
+                    DataHealth* health) {
+  return run(paths, pool, std::span<CaseSink* const>(sinks.begin(), sinks.size()), opts,
+             health);
 }
 
 // ---- DfgSink -----------------------------------------------------------

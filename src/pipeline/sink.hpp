@@ -48,9 +48,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "dfg/dfg.hpp"
@@ -76,7 +79,39 @@ struct StreamOptions : strace::ParallelReadOptions {
   /// the maximal-backpressure degeneration and still byte-identical),
   /// larger values decouple the stages further.
   std::size_t queue_capacity = 0;
+  /// Error policy. false (default): fail fast — the first data problem
+  /// (unopenable file, bad file name, parse/convert failure) aborts the
+  /// run with a typed error and no sink sees a merge. true: data-shaped
+  /// failures (IoError/ParseError) quarantine the offending FILE with a
+  /// structured warning ("<path>: skipped: ..." before conversion,
+  /// "<path>: case quarantined: ..." after) and the run completes over
+  /// the surviving inputs; LogicError and foreign exceptions still
+  /// abort either way.
+  bool keep_going = false;
 };
+
+/// What a run ingested, dropped and complained about — the report's
+/// "Data health" section. Counters travel through shard partials and
+/// sum; warnings_by_class is recomputed from the (deterministic)
+/// warning list, so sharded and streamed runs agree byte for byte.
+struct DataHealth {
+  std::uint64_t files_requested = 0;
+  std::uint64_t files_ingested = 0;
+  std::uint64_t files_skipped = 0;      ///< unopenable/unparseable, keep_going only
+  std::uint64_t cases_quarantined = 0;  ///< converted/folded cases dropped, keep_going only
+  std::map<std::string, std::uint64_t> warnings_by_class;
+
+  /// Tallies warnings_by_class over a warning list (additive).
+  void classify(std::span<const std::string> warnings);
+  /// Sums the counters only — classify() the merged warning list
+  /// separately so the classes match the streamed run exactly.
+  void merge_counters(const DataHealth& other);
+
+  bool operator==(const DataHealth&) const = default;
+};
+
+/// Stable warning taxonomy for DataHealth::warnings_by_class.
+[[nodiscard]] std::string_view classify_warning(std::string_view warning);
 
 /// One sink's per-conversion-task accumulator. Sinks define their own
 /// derived type and downcast in fold()/merge().
@@ -122,15 +157,18 @@ class CaseSink {
 /// names must follow cid_host_rid.st (ParseError for the first
 /// offender, checked before any I/O); on any failure every task is
 /// awaited, the lowest-input-index error is rethrown and no sink sees
-/// a merge. `opts.pool` is ignored — `pool` is used.
+/// a merge. Under opts.keep_going data failures quarantine their file
+/// instead (see StreamOptions). `health`, when non-null, receives the
+/// run's DataHealth either way. `opts.pool` is ignored — `pool` is
+/// used.
 [[nodiscard]] model::EventLog run(const std::vector<std::string>& paths, ThreadPool& pool,
                                   std::span<CaseSink* const> sinks,
-                                  const StreamOptions& opts = {});
+                                  const StreamOptions& opts = {}, DataHealth* health = nullptr);
 
 /// Brace-list convenience: run(paths, pool, {&graph, &stats}).
 [[nodiscard]] model::EventLog run(const std::vector<std::string>& paths, ThreadPool& pool,
                                   std::initializer_list<CaseSink*> sinks,
-                                  const StreamOptions& opts = {});
+                                  const StreamOptions& opts = {}, DataHealth* health = nullptr);
 
 // ---- the analytics, re-expressed as sinks ------------------------------
 

@@ -92,6 +92,24 @@ void variants_table(std::string& html, const model::VariantCounts& variants) {
   html += "</table>\n";
 }
 
+void health_table(std::string& html, const pipeline::DataHealth& health) {
+  html += "<h2>Data health</h2>\n<table>\n"
+          "<tr><th>files requested</th><th>ingested</th><th>skipped</th>"
+          "<th>cases quarantined</th></tr>\n<tr><td>" +
+          std::to_string(health.files_requested) + "</td><td>" +
+          std::to_string(health.files_ingested) + "</td><td>" +
+          std::to_string(health.files_skipped) + "</td><td>" +
+          std::to_string(health.cases_quarantined) + "</td></tr>\n</table>\n";
+  if (!health.warnings_by_class.empty()) {
+    html += "<table>\n<tr><th>warning class</th><th>count</th></tr>\n";
+    for (const auto& [cls, count] : health.warnings_by_class) {
+      html += "<tr><td>" + html_escape(cls) + "</td><td>" + std::to_string(count) +
+              "</td></tr>\n";
+    }
+    html += "</table>\n";
+  }
+}
+
 }  // namespace
 
 std::string render_report(const ReportData& data, const model::Mapping& f,
@@ -128,6 +146,7 @@ std::string render_report(const ReportData& data, const model::Mapping& f,
   cases_table(html, data.case_summaries);
   edges_table(html, data.edge_stats);
   if (data.variants) variants_table(html, *data.variants);
+  if (data.health) health_table(html, *data.health);
 
   if (opts.timeline_activity) {
     html += "<h2>Timeline of " + html_escape(flat(*opts.timeline_activity)) + "</h2>\n<pre>" +
@@ -178,9 +197,12 @@ StreamingReport streaming_report(const std::vector<std::string>& paths, const mo
                                             &edge_sink};
   sinks.insert(sinks.end(), extra_sinks.begin(), extra_sinks.end());
   StreamingReport out;
-  out.log = pipeline::run(paths, pool, std::span<pipeline::CaseSink* const>(sinks), stream_opts);
+  pipeline::DataHealth health;
+  out.log = pipeline::run(paths, pool, std::span<pipeline::CaseSink* const>(sinks), stream_opts,
+                          &health);
 
   ReportData data;
+  data.health = std::move(health);
   data.graph = graph_sink.take_graph();
   data.case_summaries = stats_sink.take_summaries();
   data.variants = variants_sink.take_variants();
@@ -206,6 +228,7 @@ std::string render_sharded_report(const pipeline::ShardedAnalytics& analytics,
   data.graph = analytics.graph;
   data.case_summaries = analytics.case_summaries;
   data.variants = analytics.variants;
+  data.health = analytics.health;
   data.case_count = analytics.case_count;
   data.total_events = analytics.total_events;
   data.stats = analytics.io_stats;

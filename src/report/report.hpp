@@ -71,6 +71,10 @@ struct ReportData {
   std::size_t total_events = 0;
   /// Rendered as a "Trace variants" section when non-nullopt.
   std::optional<model::VariantCounts> variants;
+  /// Rendered as a "Data health" section when non-nullopt (streaming
+  /// and sharded reports — the paths with an ingestion phase whose
+  /// degradation is worth surfacing; build_report never sets it).
+  std::optional<pipeline::DataHealth> health;
   /// Timeline entries of ReportOptions::timeline_activity, when set.
   std::vector<dfg::TimelineEntry> timeline;
 };

@@ -143,6 +143,12 @@ class StreamedParse {
   /// the on_file_done callback rank after the file's chunk errors.
   [[nodiscard]] std::optional<Error> error() const;
 
+  /// After join(): every failed file's earliest error, sorted by file
+  /// index. A file either appears here or fired on_file_done — never
+  /// both. keep_going consumers quarantine these per file instead of
+  /// rethrowing the first.
+  [[nodiscard]] std::vector<Error> errors() const;
+
   /// join(), then rethrow the recorded error, if any.
   void wait();
 

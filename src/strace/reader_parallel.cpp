@@ -37,6 +37,7 @@
 #include "strace/reader.hpp"
 #include "strace/scan_kernels.hpp"
 #include "support/errors.hpp"
+#include "support/faultpoint.hpp"
 #include "support/strings.hpp"
 
 namespace st::strace {
@@ -94,6 +95,7 @@ struct ChunkReader {
   /// Parses the byte range [begin, end) with chunk-local merger state.
   /// `begin` is a line start; `end` is one past a '\n' or text.size().
   [[nodiscard]] Acc parse_chunk(std::size_t begin, std::size_t end) const {
+    FAULT_POINT("reader.chunk");
     Acc acc;
     acc.empty = false;
     acc.arenas.emplace_back();
@@ -405,6 +407,10 @@ struct StreamedParse::State {
     std::vector<Acc> accs;                  ///< one slot per chunk
     std::atomic<std::size_t> remaining{0};  ///< chunks still parsing
     std::atomic<bool> failed{false};        ///< any chunk of this file threw
+    // This file's earliest error by chunk (err_mutex): what keep_going
+    // consumers quarantine per file instead of aborting the run.
+    std::size_t error_chunk = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr error;
   };
   std::deque<FileState> files;  // deque: FileState holds atomics (immovable)
   std::atomic<std::size_t> files_remaining{0};
@@ -424,6 +430,13 @@ struct StreamedParse::State {
   void note_error(std::size_t f, std::size_t c, std::exception_ptr e) {
     files[f].failed.store(true, std::memory_order_release);
     std::lock_guard lock(err_mutex);
+    // `!error` matters when the file's only failure is a fold/finalize
+    // error: kFoldStage equals the slot's initial error_chunk, so a
+    // strictly-less guard would never record it.
+    if (!files[f].error || c < files[f].error_chunk) {
+      files[f].error_chunk = c;
+      files[f].error = e;
+    }
     if (f < err_file || (f == err_file && c < err_chunk)) {
       err_file = f;
       err_chunk = c;
@@ -510,6 +523,16 @@ std::optional<StreamedParse::Error> StreamedParse::error() const {
   std::lock_guard lock(state_->err_mutex);
   if (!state_->err) return std::nullopt;
   return Error{state_->err_file, state_->err};
+}
+
+std::vector<StreamedParse::Error> StreamedParse::errors() const {
+  std::vector<Error> out;
+  if (!state_) return out;
+  std::lock_guard lock(state_->err_mutex);
+  for (std::size_t f = 0; f < state_->files.size(); ++f) {
+    if (state_->files[f].error) out.push_back({f, state_->files[f].error});
+  }
+  return out;
 }
 
 void StreamedParse::wait() {

@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "support/errors.hpp"
+#include "support/faultpoint.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define ST_HAVE_MMAP 1
@@ -21,6 +22,7 @@ TraceBuffer::~TraceBuffer() {
 }
 
 std::shared_ptr<TraceBuffer> TraceBuffer::from_file(const std::string& path) {
+  FAULT_POINT("reader.open");
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) throw IoError("cannot open trace file: " + path);
   const std::streamsize size = in.tellg();
@@ -35,6 +37,9 @@ std::shared_ptr<TraceBuffer> TraceBuffer::from_file(const std::string& path) {
 
 std::shared_ptr<TraceBuffer> TraceBuffer::from_file_mmap(const std::string& path) {
 #ifdef ST_HAVE_MMAP
+  // Hits twice on the rare mmap-failure fallback into from_file — nth
+  // targeting in tests should use the common one-hit-per-open case.
+  FAULT_POINT("reader.open");
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) throw IoError("cannot open trace file: " + path);
   struct stat st{};

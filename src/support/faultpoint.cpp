@@ -1,0 +1,239 @@
+#include "support/faultpoint.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+namespace st::fault {
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+namespace {
+
+struct SiteState {
+  Spec spec;
+  std::uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, SiteState, std::less<>> sites;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+/// Consumes one hit of `site` under the registry lock; returns the spec
+/// iff this hit fires.
+std::optional<Spec> consume_hit(std::string_view site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.sites.find(site);
+  if (it == r.sites.end()) return std::nullopt;
+  SiteState& s = it->second;
+  ++s.hits;
+  if (s.spec.nth != 0 && s.hits != s.spec.nth) return std::nullopt;
+  return s.spec;
+}
+
+/// Applies a control-kind spec. Data kinds degrade to kError here —
+/// a control site has no bytes to corrupt, but the armed intent was
+/// "make this step fail", which kError honors.
+[[noreturn]] void fail(std::string_view site) { throw FaultInjected(site); }
+
+void apply_control(std::string_view site, const Spec& spec) {
+  switch (spec.kind) {
+    case Kind::kExit:
+      std::fflush(nullptr);
+      std::_Exit(70);
+    case Kind::kHang:
+      std::this_thread::sleep_for(std::chrono::milliseconds(spec.hang_ms));
+      return;
+    case Kind::kError:
+    case Kind::kTruncate:
+    case Kind::kBitflip:
+      fail(site);
+  }
+}
+
+}  // namespace
+
+Spec parse_spec(std::string_view text) {
+  Spec spec;
+  std::string_view kind = text;
+  if (const auto colon = text.find(':'); colon != std::string_view::npos) {
+    kind = text.substr(0, colon);
+    const std::string_view nth = text.substr(colon + 1);
+    if (nth.empty()) throw ParseError("fault spec: empty nth in '" + std::string(text) + "'");
+    std::uint64_t value = 0;
+    for (const char c : nth) {
+      if (c < '0' || c > '9') {
+        throw ParseError("fault spec: bad nth in '" + std::string(text) + "'");
+      }
+      value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    spec.nth = value;
+  }
+  if (kind == "error") {
+    spec.kind = Kind::kError;
+  } else if (kind == "exit") {
+    spec.kind = Kind::kExit;
+  } else if (kind == "truncate") {
+    spec.kind = Kind::kTruncate;
+  } else if (kind == "bitflip") {
+    spec.kind = Kind::kBitflip;
+  } else if (kind.substr(0, 7) == "hang_ms") {
+    spec.kind = Kind::kHang;
+    const std::string_view ms = kind.substr(7);
+    if (!ms.empty()) {
+      std::uint64_t value = 0;
+      for (const char c : ms) {
+        if (c < '0' || c > '9') {
+          throw ParseError("fault spec: bad hang_ms in '" + std::string(text) + "'");
+        }
+        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+      }
+      spec.hang_ms = static_cast<std::uint32_t>(value);
+    }
+  } else {
+    throw ParseError("fault spec: unknown kind '" + std::string(kind) + "'");
+  }
+  return spec;
+}
+
+void arm(std::string site, Spec spec) {
+  if (site.empty()) throw ParseError("fault spec: empty site name");
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.sites[std::move(site)] = SiteState{spec, 0};
+  detail::g_armed.store(true, std::memory_order_relaxed);
+}
+
+bool disarm(std::string_view site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.sites.find(site);
+  if (it == r.sites.end()) return false;
+  r.sites.erase(it);
+  if (r.sites.empty()) detail::g_armed.store(false, std::memory_order_relaxed);
+  return true;
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.sites.clear();
+  detail::g_armed.store(false, std::memory_order_relaxed);
+}
+
+void load_env(std::string_view config) {
+  std::size_t start = 0;
+  while (start <= config.size()) {
+    std::size_t end = config.find(',', start);
+    if (end == std::string_view::npos) end = config.size();
+    const std::string_view entry = config.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+    const auto eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      throw ParseError("fault spec: expected site=kind[:nth], got '" + std::string(entry) +
+                       "'");
+    }
+    arm(std::string(entry.substr(0, eq)), parse_spec(entry.substr(eq + 1)));
+  }
+}
+
+std::vector<std::string> armed_sites() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<std::string> out;
+  out.reserve(r.sites.size());
+  for (const auto& [site, state] : r.sites) out.push_back(site);
+  return out;
+}
+
+std::uint64_t hits(std::string_view site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+void point(std::string_view site) {
+  const auto spec = consume_hit(site);
+  if (spec) apply_control(site, *spec);
+}
+
+void point_data(std::string_view site, std::string& bytes) {
+  const auto spec = consume_hit(site);
+  if (!spec) return;
+  switch (spec->kind) {
+    case Kind::kTruncate:
+      bytes.resize(bytes.size() / 2);
+      return;
+    case Kind::kBitflip:
+      if (bytes.empty()) fail(site);  // nothing to flip still means "corrupt"
+      bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x20);
+      return;
+    default:
+      apply_control(site, *spec);
+      return;
+  }
+}
+
+std::string_view corrupt_view(std::string_view site, std::string_view data,
+                              std::string& scratch) {
+  const auto spec = consume_hit(site);
+  if (!spec) return data;
+  switch (spec->kind) {
+    case Kind::kTruncate:
+    case Kind::kBitflip: {
+      scratch.assign(data);
+      // Replay the mutation through point_data's rules by hand (the hit
+      // was already consumed above).
+      if (spec->kind == Kind::kTruncate) {
+        scratch.resize(scratch.size() / 2);
+      } else if (scratch.empty()) {
+        fail(site);
+      } else {
+        scratch[scratch.size() / 2] =
+            static_cast<char>(scratch[scratch.size() / 2] ^ 0x20);
+      }
+      return scratch;
+    }
+    default:
+      apply_control(site, *spec);
+      return data;
+  }
+}
+
+namespace {
+
+/// ST_FAULTS is parsed once at static-init time so injection configured
+/// in the environment reaches posix_spawn'd children with zero plumbing.
+/// A malformed value warns instead of throwing: the injection harness
+/// must never itself be the crash.
+struct EnvLoader {
+  EnvLoader() {
+    const char* env = std::getenv("ST_FAULTS");
+    if (env == nullptr || *env == '\0') return;
+    try {
+      load_env(env);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "warning: ignoring malformed ST_FAULTS: %s\n", e.what());
+    }
+  }
+};
+const EnvLoader g_env_loader;
+
+}  // namespace
+
+}  // namespace st::fault

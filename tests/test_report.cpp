@@ -144,7 +144,7 @@ TEST_F(StreamingReportTest, SinglePassReportHasEverySectionPlusVariants) {
   EXPECT_EQ(result.log.case_count(), 3u);
   for (const char* section :
        {"<!DOCTYPE html>", "Directly-Follows-Graph", "<svg", "Activity statistics", "Cases",
-        "Directly-follows gaps", "Trace variants", "</html>"}) {
+        "Directly-follows gaps", "Trace variants", "Data health", "</html>"}) {
     EXPECT_NE(result.html.find(section), std::string::npos) << section;
   }
   // All three cases behave identically -> one variant, multiplicity 3.
@@ -166,15 +166,17 @@ TEST_F(StreamingReportTest, SectionsMatchTheStagedReport) {
   const dfg::StatisticsColoring styler(stats);
   const auto staged = build_report(log, f, &styler);
 
-  // Identical up to the variants table: the streamed html with the
-  // "Trace variants" section cut out equals the staged html.
-  const auto begin = streamed.html.find("<h2>Trace variants</h2>");
-  ASSERT_NE(begin, std::string::npos);
-  const auto end = streamed.html.find("<h2>", begin + 1);
+  // Identical up to the streaming-only sections: the streamed html with
+  // the "Trace variants" and "Data health" sections cut out equals the
+  // staged html (build_report never has a DataHealth to render).
   std::string stripped = streamed.html;
-  stripped.erase(begin, (end == std::string::npos
-                             ? streamed.html.find("</body>") - begin
-                             : end - begin));
+  for (const char* heading : {"<h2>Trace variants</h2>", "<h2>Data health</h2>"}) {
+    const auto begin = stripped.find(heading);
+    ASSERT_NE(begin, std::string::npos) << heading;
+    const auto end = stripped.find("<h2>", begin + 1);
+    stripped.erase(begin, (end == std::string::npos ? stripped.find("</body>", begin) - begin
+                                                    : end - begin));
+  }
   EXPECT_EQ(stripped, staged);
 }
 

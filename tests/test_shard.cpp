@@ -175,10 +175,38 @@ TEST_F(Shard, BadTraceFilenameIsParseErrorBeforeAnyWork) {
   EXPECT_THROW((void)pipeline::run_sharded(paths, base_options(2)), ParseError);
 }
 
-TEST_F(Shard, MissingFoldShardExecutableIsIoError) {
+TEST_F(Shard, MissingFoldShardExecutableRecoversViaInProcessFallback) {
+  // The supervisor retries the spawn, exhausts max_attempts and folds
+  // the shards in-process — same bytes as the clean run, with the whole
+  // story in the shard report instead of the analytics.
+  const auto paths = make_corpus();
+  const auto f = model::mapping_by_name("top2");
+  const auto reference = pipeline::run_sharded(paths, base_options(2));
+
+  auto opts = base_options(2);
+  opts.fold_shard_exe = "/nonexistent/st_fold_shard_binary";
+  opts.max_attempts = 2;
+  opts.retry_backoff_ms = 0;
+  const auto analytics = pipeline::run_sharded(paths, opts);
+  EXPECT_EQ(report::render_sharded_report(analytics, f),
+            report::render_sharded_report(reference, f));
+  ASSERT_EQ(analytics.shard_report.shards.size(), 2u);
+  EXPECT_EQ(analytics.shard_report.total_fallbacks(), 2u);
+  for (const auto& s : analytics.shard_report.shards) {
+    EXPECT_EQ(s.attempts, 2u);
+    EXPECT_TRUE(s.fell_back);
+    ASSERT_EQ(s.failures.size(), 2u);
+    EXPECT_NE(s.failures[0].find("cannot spawn"), std::string::npos);
+  }
+  EXPECT_FALSE(analytics.shard_report.to_lines().empty());
+}
+
+TEST_F(Shard, MissingFoldShardExecutableIsIoErrorWithoutTheFallback) {
   const auto paths = make_corpus();
   auto opts = base_options(2);
   opts.fold_shard_exe = "/nonexistent/st_fold_shard_binary";
+  opts.max_attempts = 1;
+  opts.fallback_in_process = false;
   EXPECT_THROW((void)pipeline::run_sharded(paths, opts), IoError);
 }
 
