@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Runs the ingestion + pipeline + storage + sharding benchmarks and
-# writes BENCH_parse.json, BENCH_pipeline.json, BENCH_elog.json and
-# BENCH_shard.json at the repo root — the perf trajectory record
-# future PRs compare against.
+# Runs the ingestion + pipeline + storage + sharding + serve benchmarks
+# and writes BENCH_parse.json, BENCH_pipeline.json, BENCH_elog.json,
+# BENCH_shard.json and BENCH_serve.json at the repo root — the perf
+# trajectory record future PRs compare against.
 #
 #   bench/run_bench.sh [build-dir] [out-dir]
 #
@@ -61,7 +61,8 @@ pipeline_raw="$(mktemp)"
 elog_raw="$(mktemp)"
 shard_raw="$(mktemp)"
 nofault_raw="$(mktemp)"
-trap 'rm -f "$parse_raw" "$pipeline_raw" "$elog_raw" "$shard_raw" "$nofault_raw"' EXIT
+serve_raw="$(mktemp)"
+trap 'rm -f "$parse_raw" "$pipeline_raw" "$elog_raw" "$shard_raw" "$nofault_raw" "$serve_raw"' EXIT
 
 "$build_dir/bench/bench_parse" \
   --benchmark_format=json \
@@ -85,6 +86,13 @@ ST_ELOG_TOOL="$build_dir/examples/elog_tool" \
   --benchmark_format=json \
   --benchmark_min_time=0.2 \
   >"$shard_raw"
+
+# bench_serve is a plain main (latency distribution, not throughput —
+# see its header): it prints one JSON record; the wrapper below lifts
+# the headline numbers to the top level of BENCH_serve.json.
+"$build_dir/bench/bench_serve" \
+  --clients=4 --requests=128 --cache-entries=16 \
+  >"$serve_raw"
 
 # faultpoint_disabled_overhead: the same BM_RunSharded points from a
 # twin build with -DST_DISABLE_FAULT_POINTS=ON (the FAULT_POINT macros
@@ -383,4 +391,39 @@ print(f"wrote {sys.argv[3]} (sharded_parallel_speedup = "
       f"spawned = {spawned}, "
       f"spawned_overhead_at_1_shard = {out['spawned_overhead_at_1_shard']}x, "
       f"faultpoint_disabled_overhead = {out['faultpoint_disabled_overhead']})")
+EOF
+
+# BENCH_serve.json layout:
+#   {
+#     "p50_us" / "p99_us": <overall request latency of the mixed
+#         query/report/diff/stat workload, 4 clients x 128 requests
+#         against one resident Catalog (cache capacity 16 — small
+#         enough that eviction happens)>,
+#     "report_p50_us": <the heavyweight verb on its own — a cold full
+#         HTML report dominates the overall p99>,
+#     "cache_hit_rate": <catalog hits / (hits + misses) at the end of
+#         the run; cold misses and eviction refills included>,
+#     "requests_per_second": <aggregate across clients>,
+#     "current": <bench_serve's full JSON record (per-verb p50/p99,
+#         cache counters, corpus size)>
+#   }
+python3 - "$serve_raw" "$out_dir/BENCH_serve.json" <<'EOF'
+import json
+import sys
+
+current = json.load(open(sys.argv[1]))
+latency = current.get("latency_us", {})
+out = {
+    "p50_us": latency.get("overall", {}).get("p50"),
+    "p99_us": latency.get("overall", {}).get("p99"),
+    "report_p50_us": latency.get("per_verb", {}).get("report", {}).get("p50"),
+    "cache_hit_rate": current.get("cache", {}).get("hit_rate"),
+    "requests_per_second": current.get("requests_per_second"),
+    "current": current,
+}
+json.dump(out, open(sys.argv[2], "w"), indent=1)
+print(f"wrote {sys.argv[2]} (p50_us = {out['p50_us']}, p99_us = {out['p99_us']}, "
+      f"report_p50_us = {out['report_p50_us']}, "
+      f"cache_hit_rate = {out['cache_hit_rate']}, "
+      f"requests_per_second = {out['requests_per_second']})")
 EOF

@@ -4,7 +4,9 @@
 # ThreadPool pipeline (test_stage_queue, test_pipeline_stream,
 # test_pipeline_sinks) plus the sink partials and shard coordinator
 # (test_stats_sinks, test_shard; elog_tool is built so the
-# posix_spawn subprocess tests run instead of skipping). ASan proves
+# posix_spawn subprocess tests run instead of skipping) plus the
+# serve-mode catalog (test_catalog: single-flight stampedes and
+# concurrent mixed access against the LRU memo table). ASan proves
 # the pipeline's lifetime story; this proves its synchronization
 # story. CI runs the same selection in the tsan job.
 #
@@ -22,11 +24,11 @@ cmake -S "$repo_root" -B "$build_dir" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "$build_dir" -j "$(nproc)" \
   --target test_stage_queue test_pipeline_stream test_pipeline_sinks \
-  test_stats_sinks test_shard elog_tool
+  test_stats_sinks test_shard test_catalog elog_tool
 
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ctest --test-dir "$build_dir" \
-  -R 'test_stage_queue|test_pipeline_stream|test_pipeline_sinks|test_stats_sinks|test_shard' \
+  -R 'test_stage_queue|test_pipeline_stream|test_pipeline_sinks|test_stats_sinks|test_shard|test_catalog' \
   --output-on-failure
 
 echo "tsan suite passed"

@@ -38,42 +38,30 @@
 #include "pipeline/stream.hpp"
 #include "report/report.hpp"
 #include "support/cli.hpp"
+#include "support/cli_args.hpp"
 #include "support/errors.hpp"
 #include "support/faultpoint.hpp"
 #include "support/strings.hpp"
 
 namespace {
 
-/// --threads as a worker count: negative values would wrap through the
-/// size_t cast into a SIZE_MAX-worker pool; clamp them to 0 (hardware).
-std::size_t thread_count(const st::CliParser& cli) {
-  return static_cast<std::size_t>(std::max<std::int64_t>(0, cli.get_int("threads")));
-}
-
-/// The shared short-name registry — fold-shard workers and this
-/// coordinator resolve --map through the same function, so the mapping
-/// cannot drift across the process boundary.
-st::model::Mapping mapping_for(const std::string& name) {
-  return st::model::mapping_by_name(name);
-}
-
 /// Shard worker options shared by fold-shard / report-sharded: the
 /// flags the coordinator forwards to its subprocesses.
 st::pipeline::ShardOptions shard_options(const st::CliParser& cli) {
   st::pipeline::ShardOptions opts;
   opts.mapping = cli.get("map");
-  opts.worker_threads = thread_count(cli);
+  opts.worker_threads = st::cliargs::thread_count(cli);
   if (cli.has("fp")) opts.query_fp = cli.get("fp");
   if (cli.has("calls")) opts.query_calls = cli.get("calls");
-  opts.stream.keep_going = cli.get_bool("keep-going");
+  static_cast<st::RunPolicy&>(opts.stream) = st::cliargs::run_policy(cli);
   return opts;
 }
 
 /// Reads an elog container honoring --keep-going (quarantined v2 cases
 /// become warnings, echoed to stderr like the ingestion paths').
 st::model::EventLog read_elog(const std::string& path, const st::CliParser& cli) {
-  auto log = st::elog::read_event_log_file(
-      path, st::elog::ElogReadOptions{cli.get_bool("keep-going")});
+  auto log =
+      st::elog::read_event_log_file(path, st::elog::ElogReadOptions{st::cliargs::run_policy(cli)});
   for (const auto& w : log.warnings()) std::cerr << "warning: " << path << ": " << w << "\n";
   return log;
 }
@@ -92,12 +80,6 @@ void write_bytes(const std::string& path, std::string_view bytes) {
   if (!out || !out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()))) {
     throw st::IoError("cannot write file: " + path);
   }
-}
-
-/// Output format selection: v2 unless --v1 (both at once is a typo).
-bool write_v1(const st::CliParser& cli) {
-  if (cli.has("v1") && cli.has("v2")) throw st::ParseError("--v1 and --v2 are exclusive");
-  return cli.has("v1");
 }
 
 void write_log(const std::string& path, const st::model::EventLog& log, bool v1) {
@@ -202,21 +184,17 @@ int main(int argc, char** argv) {
   CliParser cli;
   cli.add_flag("fp", "filter: keep events whose path contains this", std::nullopt);
   cli.add_flag("calls", "filter: comma-separated call families", std::nullopt);
-  cli.add_flag("map", "mapping for export: top2|last2|call|site|site1", "site");
-  cli.add_flag("threads", "ingestion worker threads for import (0 = hardware)", "0");
-  cli.add_flag("stream-report",
-               "import: also write a single-pass HTML report (DFG + case table + variants, "
-               "folded in the same streamed pass that fills the elog) to this file",
-               std::nullopt);
-  cli.add_flag("v1", "write the legacy STELOG1 chunk-stream format", std::nullopt, true);
-  cli.add_flag("v2", "write the columnar mmap-able STELOG2 format (the default)", std::nullopt,
-               true);
+  cliargs::add_map_flag(cli, "mapping for export", "site");
+  cliargs::add_threads_flag(cli, "ingestion worker (import)");
+  cliargs::add_stream_report_flag(
+      cli,
+      "import: also write a single-pass HTML report (DFG + case table + variants, "
+      "folded in the same streamed pass that fills the elog) to this file",
+      /*takes_path=*/true);
+  cliargs::add_format_flags(cli);
   cli.add_flag("verify", "stat: run the full per-section crc pass", std::nullopt, true);
-  cli.add_flag("shards", "report-sharded: number of fold-shard worker processes", "2");
-  cli.add_flag("keep-going",
-               "quarantine unreadable trace files / CRC-failing v2 cases with a warning "
-               "instead of aborting (default: fail fast)",
-               std::nullopt, true);
+  cliargs::add_shards_flag(cli, "report-sharded: number of fold-shard worker processes", "2");
+  cliargs::add_keep_going_flag(cli, "unreadable trace files / CRC-failing v2 cases");
   cli.add_flag("shard-index",
                "fold-shard: this worker's shard number (set by the coordinator; enables "
                "the per-shard shard.child#<i> fault site)",
@@ -243,7 +221,7 @@ int main(int argc, char** argv) {
       for (std::size_t i = 2; i < args.size(); ++i) {
         merged = model::EventLog::merge(merged, read_elog(args[i], cli));
       }
-      write_log(args[1], merged, write_v1(cli));
+      write_log(args[1], merged, cliargs::write_v1(cli));
       std::cout << "wrote " << merged.case_count() << " cases to " << args[1] << "\n";
     } else if (command == "filter") {
       if (args.size() != 3) throw ParseError("filter takes an output and one input");
@@ -254,9 +232,9 @@ int main(int argc, char** argv) {
         for (const auto part : split(cli.get("calls"), ',')) families.emplace_back(part);
         query = query.calls(std::move(families));
       }
-      ThreadPool pool(thread_count(cli));
+      ThreadPool pool(cliargs::thread_count(cli));
       const auto filtered = query.apply(read_elog(args[2], cli), pool);
-      write_log(args[1], filtered, write_v1(cli));
+      write_log(args[1], filtered, cliargs::write_v1(cli));
       std::cout << "query [" << query.describe() << "] kept " << filtered.total_events()
                 << " events; wrote " << args[1] << "\n";
     } else if (command == "import") {
@@ -268,15 +246,15 @@ int main(int argc, char** argv) {
       // write at any worker count.
       if (args.size() < 3) throw ParseError("import takes an output and >= 1 trace files");
       const std::vector<std::string> files(args.begin() + 2, args.end());
-      ThreadPool pool(thread_count(cli));
-      const bool v1 = write_v1(cli);
+      ThreadPool pool(cliargs::thread_count(cli));
+      const bool v1 = cliargs::write_v1(cli);
       pipeline::StreamOptions stream_opts;
-      stream_opts.keep_going = cli.get_bool("keep-going");
+      static_cast<RunPolicy&>(stream_opts) = cliargs::run_policy(cli);
       model::EventLog log;
       if (v1) {
         if (cli.has("stream-report")) {
           auto result =
-              report::streaming_report(files, mapping_for(cli.get("map")), pool, {}, stream_opts);
+              report::streaming_report(files, cliargs::mapping(cli), pool, {}, stream_opts);
           const std::string& report_path = cli.get("stream-report");
           std::ofstream out(report_path, std::ios::trunc);
           if (!out || !(out << result.html)) {
@@ -295,7 +273,7 @@ int main(int argc, char** argv) {
           // One streamed pass, three artifact families: the report's
           // sinks, the container sink and the assembled log.
           pipeline::CaseSink* extra[] = {&sink};
-          auto result = report::streaming_report(files, mapping_for(cli.get("map")), pool, {},
+          auto result = report::streaming_report(files, cliargs::mapping(cli), pool, {},
                                                  stream_opts, extra);
           const std::string& report_path = cli.get("stream-report");
           std::ofstream out(report_path, std::ios::trunc);
@@ -317,9 +295,9 @@ int main(int argc, char** argv) {
       // dispatches on magic, so either direction just works).
       if (args.size() != 3) throw ParseError("convert takes an output and one input");
       const auto log = read_elog(args[2], cli);
-      write_log(args[1], log, write_v1(cli));
+      write_log(args[1], log, cliargs::write_v1(cli));
       std::cout << "converted " << args[2] << " -> " << args[1] << " ("
-                << (write_v1(cli) ? "v1" : "v2") << ", " << log.case_count() << " cases)\n";
+                << (cliargs::write_v1(cli) ? "v1" : "v2") << ", " << log.case_count() << " cases)\n";
     } else if (command == "stat") {
       if (args.size() < 2) throw ParseError("stat takes an elog file [+ source traces]");
       const std::vector<std::string> sources(args.begin() + 2, args.end());
@@ -365,7 +343,7 @@ int main(int argc, char** argv) {
       }
       const auto analytics = pipeline::finalize_shards(std::move(parts));
       for (const auto& w : analytics.warnings) std::cerr << "warning: " << w << "\n";
-      write_bytes(args[1], report::render_sharded_report(analytics, mapping_for(cli.get("map"))));
+      write_bytes(args[1], report::render_sharded_report(analytics, cliargs::mapping(cli)));
       std::cout << "merged " << (args.size() - 2) << " shard partials ("
                 << analytics.case_count << " cases) into " << args[1] << "\n";
     } else if (command == "report-sharded") {
@@ -376,7 +354,7 @@ int main(int argc, char** argv) {
       if (args.size() < 3) throw ParseError("report-sharded takes an output and >= 1 trace files");
       const std::vector<std::string> files(args.begin() + 2, args.end());
       auto sopts = shard_options(cli);
-      sopts.shards = static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("shards")));
+      sopts.shards = cliargs::shard_count(cli);
       sopts.fold_shard_exe = self_exe(argv[0]);
       const auto analytics = pipeline::run_sharded(files, sopts);
       for (const auto& w : analytics.warnings) std::cerr << "warning: " << w << "\n";
@@ -385,13 +363,13 @@ int main(int argc, char** argv) {
       for (const auto& line : analytics.shard_report.to_lines()) {
         std::cerr << "shard-recovery: " << line << "\n";
       }
-      write_bytes(args[1], report::render_sharded_report(analytics, mapping_for(cli.get("map"))));
+      write_bytes(args[1], report::render_sharded_report(analytics, cliargs::mapping(cli)));
       std::cout << "sharded report over " << files.size() << " trace files (x" << sopts.shards
                 << " workers) written to " << args[1] << "\n";
     } else if (command == "export") {
       if (args.size() != 2) throw ParseError("export takes one elog file");
       const auto log = read_elog(args[1], cli);
-      const auto f = mapping_for(cli.get("map"));
+      const auto f = cliargs::mapping(cli);
       std::cout << dfg::stats_to_csv(dfg::IoStatistics::compute(log, f));
     } else {
       throw ParseError("unknown command: " + command);

@@ -1,13 +1,25 @@
 // trace_explorer: the "DFG as an interactive query" workflow from the
 // paper, as a CLI. Load trace files (cid_host_rid.st) and/or .elog
 // containers — mixed freely; v2 containers open by mmap with no
-// reparse — apply a file-path filter and a mapping, and inspect the
-// resulting DFG, statistics, trace variants or an activity timeline.
+// reparse — apply a query and a mapping, and inspect the resulting
+// DFG, statistics, trace variants or an activity timeline.
 //
 //   ./trace_explorer a_host1_9042.st b_host1_9157.st \
 //       --filter /usr/lib --map last2 --render dot
 //   ./trace_explorer run.elog --map site1 --timeline "read\n$SCRATCH/ssf"
-//   ./trace_explorer imported.elog fresh_host1_17.st --render stats
+//   ./trace_explorer imported.elog --query 'fp~/p calls{read,write}' \
+//       --render report
+//
+// Queries come in two spellings: --filter <substr> is sugar for a
+// single path restriction, --query takes the full canonical grammar
+// of model/query.hpp (the same string the serve wire format uses).
+//
+// serve mode turns the same corpus into a resident service
+// (corpus::Catalog + the ndjson/HTTP loop of corpus/serve.hpp):
+//
+//   ./trace_explorer serve corpus.elog                # TCP, ephemeral port
+//   ./trace_explorer serve corpus.elog --port 8080
+//   ./trace_explorer serve corpus.elog --stdio        # requests on stdin
 //
 // With no positional arguments it demos on the built-in ls / ls -l
 // traces of Fig. 2.
@@ -17,6 +29,8 @@
 #include <optional>
 #include <utility>
 
+#include "corpus/catalog.hpp"
+#include "corpus/serve.hpp"
 #include "dfg/builder.hpp"
 #include "dfg/render.hpp"
 #include "dfg/render_svg.hpp"
@@ -28,15 +42,43 @@
 #include "pipeline/stream.hpp"
 #include "report/report.hpp"
 #include "support/cli.hpp"
+#include "support/cli_args.hpp"
 #include "support/errors.hpp"
 #include "support/strings.hpp"
 
 namespace {
 
-/// --threads as a worker count: negative values would wrap through the
-/// size_t cast into a SIZE_MAX-worker pool; clamp them to 0 (hardware).
-std::size_t thread_count(const st::CliParser& cli) {
-  return static_cast<std::size_t>(std::max<std::int64_t>(0, cli.get_int("threads")));
+/// The request-side query: --query parses the full grammar, --filter
+/// layers a path-substring restriction on top (both may be given).
+st::model::Query query_from_flags(const st::CliParser& cli) {
+  st::model::Query q;
+  if (cli.has("query")) q = st::model::Query::parse(cli.get("query"));
+  if (cli.has("filter")) q = q.fp_contains(cli.get("filter"));
+  return q;
+}
+
+int run_serve(const st::CliParser& cli) {
+  using namespace st;
+  corpus::CatalogOptions copts;
+  copts.mapping = cli.get("map");
+  copts.cache_capacity =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("cache-entries")));
+  copts.policy = cliargs::run_policy(cli);
+  corpus::Catalog catalog(copts);
+  ThreadPool pool(cliargs::thread_count(cli));
+  const std::vector<std::string> inputs(cli.positional().begin() + 1, cli.positional().end());
+  if (inputs.empty()) throw ParseError("serve takes .elog containers and/or trace files");
+  catalog.load(inputs, pool);
+  for (const auto& w : catalog.load_warnings()) std::cerr << "warning: " << w << "\n";
+  if (cli.get_bool("stdio")) {
+    corpus::serve_lines(catalog, std::cin, std::cout);
+    return 0;
+  }
+  corpus::Server server(catalog, static_cast<std::uint16_t>(cli.get_int("port")));
+  std::cerr << "serving " << catalog.base()->case_count() << " cases on 127.0.0.1:"
+            << server.port() << "\n";
+  server.serve_forever(pool);
+  return 0;
 }
 
 }  // namespace
@@ -45,25 +87,33 @@ int main(int argc, char** argv) {
   using namespace st;
   CliParser cli;
   cli.add_flag("filter", "keep only events whose path contains this substring", std::nullopt);
-  cli.add_flag("map", "activity mapping: top1|top2|last1|last2|call|site|site1", "top2");
+  cli.add_flag("query", "full query in the canonical grammar, e.g. 'fp~/p calls{read,write}'",
+               std::nullopt);
+  cliargs::add_map_flag(cli, "activity mapping", "top2");
   cli.add_flag("render", "output form: ascii|dot|svg|report|variants|stats|summary", "ascii");
   cli.add_flag("timeline", "print the timeline of this activity (use \\n between call and path)",
                std::nullopt);
   cli.add_flag("ranks", "annotate nodes with distinct rank counts", std::nullopt, true);
-  cli.add_flag("threads", "ingestion worker threads (0 = hardware)", "0");
-  cli.add_flag("stream-report",
-               "single-pass HTML report straight from trace files (parse, DFG, case table and "
-               "variants fold on one pool; overrides --render)",
+  cliargs::add_threads_flag(cli, "ingestion worker");
+  cliargs::add_stream_report_flag(
+      cli,
+      "single-pass HTML report straight from trace files (parse, DFG, case table and "
+      "variants fold on one pool; overrides --render)",
+      /*takes_path=*/false);
+  cliargs::add_keep_going_flag(cli, "unreadable/unparseable inputs");
+  cli.add_flag("stdio", "serve: speak the ndjson protocol on stdin/stdout instead of TCP",
                std::nullopt, true);
-  cli.add_flag("keep-going",
-               "quarantine unreadable/unparseable inputs with a warning instead of aborting "
-               "(default: fail fast)",
-               std::nullopt, true);
+  cli.add_flag("port", "serve: TCP port on 127.0.0.1 (0 = ephemeral, printed to stderr)", "0");
+  cli.add_flag("cache-entries", "serve: memoized-artifact LRU capacity", "64");
   try {
     cli.parse(argc, argv);
 
+    if (!cli.positional().empty() && cli.positional()[0] == "serve") {
+      return run_serve(cli);
+    }
+
     // -- load --------------------------------------------------------
-    const auto f = model::mapping_by_name(cli.get("map"));
+    const auto f = cliargs::mapping(cli);
 
     if (cli.get_bool("stream-report")) {
       // One streamed pass: DfgSink + CaseStatsSink + VariantsSink fold
@@ -79,15 +129,15 @@ int main(int argc, char** argv) {
         any_trace = true;
       }
       if (!any_trace) throw ParseError("--stream-report needs cid_host_rid.st trace files");
-      if (cli.has("filter")) {
+      if (cli.has("filter") || cli.has("query")) {
         // The streaming report covers the whole trace by design; a
         // silently unfiltered report would be worse than an error.
-        throw ParseError("--stream-report reports on ALL events; drop --filter (use --render "
-                         "report for a filtered staged report)");
+        throw ParseError("--stream-report reports on ALL events; drop --filter/--query (use "
+                         "--render report for a filtered staged report)");
       }
-      ThreadPool pool(thread_count(cli));
+      ThreadPool pool(cliargs::thread_count(cli));
       pipeline::StreamOptions stream_opts;
-      stream_opts.keep_going = cli.get_bool("keep-going");
+      static_cast<RunPolicy&>(stream_opts) = cliargs::run_policy(cli);
       report::ReportOptions report_opts;
       report_opts.title = "trace_explorer report";
       report_opts.description = "single-pass streaming report, mapping: " + f.name();
@@ -104,6 +154,8 @@ int main(int argc, char** argv) {
       std::cout << result.html;
       return 0;
     }
+    const auto query = query_from_flags(cli);
+    const bool restricted = cli.has("filter") || cli.has("query");
     model::EventLog log;
     std::optional<dfg::Dfg> streamed_graph;
     std::optional<dfg::IoStatistics::Partial> streamed_io;
@@ -125,10 +177,10 @@ int main(int argc, char** argv) {
         // Streaming pipeline: zero-copy mmap parse, record -> Case
         // conversion and (when nothing narrows or extends the log
         // afterwards) DFG construction all overlap on one shared pool.
-        ThreadPool pool(thread_count(cli));
+        ThreadPool pool(cliargs::thread_count(cli));
         pipeline::StreamOptions stream_opts;
-        stream_opts.keep_going = cli.get_bool("keep-going");
-        if (!cli.has("filter") && elogs.empty()) {
+        static_cast<RunPolicy&>(stream_opts) = cliargs::run_policy(cli);
+        if (!restricted && elogs.empty()) {
           // Nothing narrows or extends the log afterwards, so the DFG
           // AND the activity statistics fold in the same pass — no
           // staged post-pass walk of the assembled log.
@@ -146,15 +198,14 @@ int main(int argc, char** argv) {
       for (const auto& p : elogs) {
         try {
           log = model::EventLog::merge(
-              log, elog::read_event_log_file(
-                       p, elog::ElogReadOptions{cli.get_bool("keep-going")}));
+              log, elog::read_event_log_file(p, elog::ElogReadOptions{cliargs::run_policy(cli)}));
         } catch (const IoError& e) {
           if (!cli.get_bool("keep-going")) throw;
           std::cerr << "warning: " << p << ": skipped: " << e.what() << "\n";
         }
       }
     }
-    if (cli.has("filter")) log = log.filter_fp(cli.get("filter"));
+    if (restricted) log = query.apply(log);
 
     // -- analyze -----------------------------------------------------
     const auto g = streamed_graph ? std::move(*streamed_graph) : dfg::build_serial(log, f);
@@ -181,13 +232,11 @@ int main(int argc, char** argv) {
     } else if (render == "svg") {
       std::cout << dfg::render_svg(g, &stats, &styler);
     } else if (render == "report") {
-      report::ReportOptions report_opts;
-      report_opts.title = "trace_explorer report";
-      report_opts.description = "query: " + (cli.has("filter") ? cli.get("filter") : "all") +
-                                ", mapping: " + f.name();
-      std::cout << report::build_report(log, f, &styler, report_opts);
+      // Same ReportOptions builder as the serve path, so the served
+      // report bytes and this offline invocation stay cmp-identical.
+      std::cout << report::build_report(log, f, &styler, corpus::query_report_options(query, f));
     } else if (render == "summary") {
-      ThreadPool pool(thread_count(cli));
+      ThreadPool pool(cliargs::thread_count(cli));
       std::cout << model::render_case_summaries(model::summarize_cases(log, pool));
     } else if (render == "ascii") {
       std::cout << dfg::render_ascii(g, &stats, &styler, opts);

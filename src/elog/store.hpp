@@ -14,6 +14,7 @@
 #include <string>
 
 #include "model/event_log.hpp"
+#include "support/run_policy.hpp"
 
 namespace st::elog {
 
@@ -29,13 +30,12 @@ void write_event_log_file(const std::string& path, const model::EventLog& log);
 [[nodiscard]] model::EventLog read_event_log(std::istream& in);
 [[nodiscard]] model::EventLog read_event_log_file(const std::string& path);
 
-struct ElogReadOptions {
-  /// true: a v2 case section failing CRC is quarantined with a warning
-  /// on the returned log instead of aborting the read (v2_store.hpp
-  /// V2ReadOptions). v1 stays fail-fast either way — its chunk stream
-  /// has no per-case recovery boundary.
-  bool keep_going = false;
-};
+/// keep_going (inherited RunPolicy, support/run_policy.hpp) == true: a
+/// v2 case section failing CRC is quarantined with a warning on the
+/// returned log instead of aborting the read (v2_store.hpp
+/// V2ReadOptions). v1 stays fail-fast either way — its chunk stream
+/// has no per-case recovery boundary.
+struct ElogReadOptions : RunPolicy {};
 
 /// Graceful-degradation variant of read_event_log_file.
 [[nodiscard]] model::EventLog read_event_log_file(const std::string& path,

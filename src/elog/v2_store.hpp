@@ -203,13 +203,12 @@ class MappedElog {
 /// the log stands alone like any other ingested log.
 [[nodiscard]] model::EventLog read_event_log_v2(std::shared_ptr<MappedElog> mapped);
 
-struct V2ReadOptions {
-  /// true: a case whose sections fail CRC (or decode) is quarantined
-  /// with a "case N (id) quarantined: ..." warning on the returned log
-  /// instead of aborting the read. false: identical to the plain
-  /// overload (first IoError propagates).
-  bool keep_going = false;
-};
+/// keep_going (inherited RunPolicy, support/run_policy.hpp) == true: a
+/// case whose sections fail CRC (or decode) is quarantined with a
+/// "case N (id) quarantined: ..." warning on the returned log instead
+/// of aborting the read. false: identical to the plain overload (first
+/// IoError propagates).
+struct V2ReadOptions : RunPolicy {};
 
 /// Graceful-degradation variant of read_event_log_v2.
 [[nodiscard]] model::EventLog read_event_log_v2(std::shared_ptr<MappedElog> mapped,

@@ -65,6 +65,7 @@
 #include "model/mapping.hpp"
 #include "model/query.hpp"
 #include "strace/reader.hpp"
+#include "support/run_policy.hpp"
 
 namespace st {
 class ThreadPool;
@@ -72,22 +73,22 @@ class ThreadPool;
 
 namespace st::pipeline {
 
-struct StreamOptions : strace::ParallelReadOptions {
+/// Error policy lives in the inherited RunPolicy (support/
+/// run_policy.hpp). keep_going == false (default): fail fast — the
+/// first data problem (unopenable file, bad file name, parse/convert
+/// failure) aborts the run with a typed error and no sink sees a
+/// merge. true: data-shaped failures (IoError/ParseError) quarantine
+/// the offending FILE with a structured warning ("<path>: skipped:
+/// ..." before conversion, "<path>: case quarantined: ..." after) and
+/// the run completes over the surviving inputs; LogicError and
+/// foreign exceptions still abort either way.
+struct StreamOptions : strace::ParallelReadOptions, RunPolicy {
   /// Capacity of the completion queue between the parse and convert
   /// stages; 0 = 2x the pool size. Smaller values bound memory on huge
   /// batches (parse stalls until conversion catches up — capacity 1 is
   /// the maximal-backpressure degeneration and still byte-identical),
   /// larger values decouple the stages further.
   std::size_t queue_capacity = 0;
-  /// Error policy. false (default): fail fast — the first data problem
-  /// (unopenable file, bad file name, parse/convert failure) aborts the
-  /// run with a typed error and no sink sees a merge. true: data-shaped
-  /// failures (IoError/ParseError) quarantine the offending FILE with a
-  /// structured warning ("<path>: skipped: ..." before conversion,
-  /// "<path>: case quarantined: ..." after) and the run completes over
-  /// the surviving inputs; LogicError and foreign exceptions still
-  /// abort either way.
-  bool keep_going = false;
 };
 
 /// What a run ingested, dropped and complained about — the report's

@@ -1,7 +1,10 @@
 // Query::describe() coverage: every combination of the five
-// restriction kinds renders as clean space-joined clauses — no
-// trailing separator (the old build-then-pop_back formatting), no
-// double spaces, clauses in the documented order.
+// restriction kinds renders as clean space-joined clauses in the
+// canonical grammar (ISSUE 9) — no trailing separator, no double
+// spaces, clauses in the documented order, set members sorted and
+// listed in full (the string doubles as the Catalog cache fingerprint
+// and the serve wire format, so it must carry the whole restriction,
+// not a summary count).
 #include <string>
 #include <vector>
 
@@ -22,8 +25,8 @@ const std::vector<Restriction>& restrictions() {
       {"fp~/p/scratch", [](const Query& q) { return q.fp_contains("/p/scratch"); }},
       {"calls{read,write}", [](const Query& q) { return q.calls({"read", "write"}); }},
       {"t[10,200)", [](const Query& q) { return q.between(10, 200); }},
-      {"cids(2)", [](const Query& q) { return q.cids({"a", "b"}); }},
-      {"hosts(1)", [](const Query& q) { return q.hosts({"node1"}); }},
+      {"cids{a,b}", [](const Query& q) { return q.cids({"a", "b"}); }},
+      {"hosts{node1}", [](const Query& q) { return q.hosts({"node1"}); }},
   };
   return r;
 }
@@ -60,21 +63,42 @@ TEST(QueryDescribe, NoSeparatorArtifacts) {
   }
 }
 
-TEST(QueryDescribe, MultipleFpClausesStayOrdered) {
-  const auto q = Query().fp_contains("/p").fp_contains("ssf").calls({"read"});
+TEST(QueryDescribe, MultipleFpClausesAreSortedAndDeduplicated) {
+  // Conjunctive restrictions are order-insensitive, so the canonical
+  // form sorts them — builder order must not leak into the fingerprint.
+  const auto q = Query().fp_contains("ssf").fp_contains("/p").fp_contains("ssf").calls({"read"});
   EXPECT_EQ(q.describe(), "fp~/p fp~ssf calls{read}");
 }
 
 TEST(QueryDescribe, SingleRestrictionHasNoPadding) {
-  EXPECT_EQ(Query().hosts({"n1", "n2", "n3"}).describe(), "hosts(3)");
+  EXPECT_EQ(Query().hosts({"n1", "n2", "n3"}).describe(), "hosts{n1,n2,n3}");
   EXPECT_EQ(Query().between(0, 100).describe(), "t[0,100)");
   EXPECT_EQ(Query().describe(), "all");
 }
 
-TEST(QueryDescribe, CallFamiliesKeepBuilderOrder) {
-  // describe() reports the families as given, not the compiled sorted
-  // variant expansion used for matching.
-  EXPECT_EQ(Query().calls({"write", "read"}).describe(), "calls{write,read}");
+TEST(QueryDescribe, CallFamiliesAreCanonicallySorted) {
+  // Same matching behavior -> same fingerprint, regardless of the
+  // order the builder saw the families in.
+  EXPECT_EQ(Query().calls({"write", "read"}).describe(), "calls{read,write}");
+  EXPECT_EQ(Query().calls({"write", "read"}).describe(),
+            Query().calls({"read"}).calls({"write"}).describe());
+}
+
+TEST(QueryDescribe, EmptySetsRenderAsEmptyBraces) {
+  // cids{} is a real restriction (matches no case) and must stay
+  // distinguishable from the absent clause.
+  EXPECT_EQ(Query().cids({}).describe(), "cids{}");
+  EXPECT_EQ(Query().hosts({}).describe(), "hosts{}");
+}
+
+TEST(QueryDescribe, UnsafeAtomsRenderQuoted) {
+  EXPECT_EQ(Query().fp_contains("with space").describe(), "fp~\"with space\"");
+  EXPECT_EQ(Query().fp_contains("a\"b").describe(), "fp~\"a\\\"b\"");
+  EXPECT_EQ(Query().fp_contains("back\\slash").describe(), "fp~\"back\\\\slash\"");
+  EXPECT_EQ(Query().fp_contains(std::string("nul\0byte", 8)).describe(),
+            "fp~\"nul\\x00byte\"");
+  EXPECT_EQ(Query().fp_contains("").describe(), "fp~\"\"");
+  EXPECT_EQ(Query().cids({"a,b"}).describe(), "cids{\"a,b\"}");
 }
 
 }  // namespace
