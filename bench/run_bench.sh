@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Runs the ingestion + pipeline + storage + sharding + serve benchmarks
-# and writes BENCH_parse.json, BENCH_pipeline.json, BENCH_elog.json,
-# BENCH_shard.json and BENCH_serve.json at the repo root — the perf
-# trajectory record future PRs compare against.
+# Runs the ingestion + pipeline + storage + sharding + query + serve
+# benchmarks and writes BENCH_parse.json, BENCH_pipeline.json,
+# BENCH_elog.json, BENCH_shard.json, BENCH_query.json and
+# BENCH_serve.json at the repo root — the perf trajectory record future
+# PRs compare against.
 #
 #   bench/run_bench.sh [build-dir] [out-dir]
 #
@@ -61,8 +62,9 @@ pipeline_raw="$(mktemp)"
 elog_raw="$(mktemp)"
 shard_raw="$(mktemp)"
 nofault_raw="$(mktemp)"
+query_raw="$(mktemp)"
 serve_raw="$(mktemp)"
-trap 'rm -f "$parse_raw" "$pipeline_raw" "$elog_raw" "$shard_raw" "$nofault_raw" "$serve_raw"' EXIT
+trap 'rm -f "$parse_raw" "$pipeline_raw" "$elog_raw" "$shard_raw" "$nofault_raw" "$query_raw" "$serve_raw"' EXIT
 
 "$build_dir/bench/bench_parse" \
   --benchmark_format=json \
@@ -86,6 +88,11 @@ ST_ELOG_TOOL="$build_dir/examples/elog_tool" \
   --benchmark_format=json \
   --benchmark_min_time=0.2 \
   >"$shard_raw"
+
+"$build_dir/bench/bench_query" \
+  --benchmark_format=json \
+  --benchmark_min_time=0.2 \
+  >"$query_raw"
 
 # bench_serve is a plain main (latency distribution, not throughput —
 # see its header): it prints one JSON record; the wrapper below lifts
@@ -393,6 +400,65 @@ print(f"wrote {sys.argv[3]} (sharded_parallel_speedup = "
       f"faultpoint_disabled_overhead = {out['faultpoint_disabled_overhead']})")
 EOF
 
+# BENCH_query.json layout:
+#   {
+#     "indexed_speedup_by_selectivity": {"sel0": .., "sel1": ..,
+#         "sel50": .., "sel100": ..} — Query::apply over the resident
+#         EventLog divided by select_v2 over the mmap'd indexed
+#         container, per selectivity tier (sel1 is one case in 128),
+#     "indexed_speedup_at_1pct_selectivity": <the sel1 point — this
+#         PR's acceptance metric: >= 5x; byte-identity of the two paths
+#         is enforced by test_v2_select and the CI serve-mode cmp>,
+#     "combined_restriction_speedup": <calls + fp + window at the sel1
+#         tier — the interactive narrow-it-down query shape>,
+#     "noindex_vs_scan": <select_v2 over an index-free file divided by
+#         Query::apply — the column-scan fallback, per tier>,
+#     "scan_micros" / "indexed_micros": <real time per tier>,
+#     "current": <google-benchmark JSON of bench_query>
+#   }
+python3 - "$query_raw" "$out_dir/BENCH_query.json" <<'EOF'
+import json
+import sys
+
+current = json.load(open(sys.argv[1]))
+
+def metric(name, key):
+    for bench in current.get("benchmarks", []):
+        if bench.get("name") == name and key in bench:
+            return bench[key]
+    return None
+
+def ratio(num, den):
+    if num is None or den is None or den == 0:
+        return None
+    return round(num / den, 2)
+
+tiers = ("sel0", "sel1", "sel50", "sel100")
+scan = {t: metric(f"BM_QueryScan/{t}", "real_time") for t in tiers}
+indexed = {t: metric(f"BM_QueryIndexed/{t}", "real_time") for t in tiers}
+speedup = {t: ratio(scan[t], indexed[t]) for t in tiers}
+
+noindex = {t: ratio(scan[t], metric(f"BM_QueryNoIndex/{t}", "real_time"))
+           for t in ("sel1", "sel50")}
+
+combined = ratio(metric("BM_QueryScan/sel1_combined", "real_time"),
+                 metric("BM_QueryIndexed/sel1_combined", "real_time"))
+
+out = {
+    "indexed_speedup_by_selectivity": speedup,
+    "indexed_speedup_at_1pct_selectivity": speedup.get("sel1"),
+    "combined_restriction_speedup": combined,
+    "noindex_vs_scan": noindex,
+    "scan_micros": {t: round(v, 1) for t, v in scan.items() if v is not None},
+    "indexed_micros": {t: round(v, 1) for t, v in indexed.items() if v is not None},
+    "current": current,
+}
+json.dump(out, open(sys.argv[2], "w"), indent=1)
+print(f"wrote {sys.argv[2]} (indexed_speedup_at_1pct_selectivity = "
+      f"{out['indexed_speedup_at_1pct_selectivity']}x, by_selectivity = {speedup}, "
+      f"combined_restriction_speedup = {combined}x, noindex_vs_scan = {noindex})")
+EOF
+
 # BENCH_serve.json layout:
 #   {
 #     "p50_us" / "p99_us": <overall request latency of the mixed
@@ -401,6 +467,10 @@ EOF
 #         enough that eviction happens)>,
 #     "report_p50_us": <the heavyweight verb on its own — a cold full
 #         HTML report dominates the overall p99>,
+#     "report_cold_p50_us" / "report_warm_p50_us": <the same verb split
+#         by first-seen vs later-hit: the cold render cost vs the cache
+#         hit that replaces it (first-seen approximation — see
+#         bench_serve's header)>,
 #     "cache_hit_rate": <catalog hits / (hits + misses) at the end of
 #         the run; cold misses and eviction refills included>,
 #     "requests_per_second": <aggregate across clients>,
@@ -413,10 +483,13 @@ import sys
 
 current = json.load(open(sys.argv[1]))
 latency = current.get("latency_us", {})
+report_split = latency.get("cold_warm", {}).get("report", {})
 out = {
     "p50_us": latency.get("overall", {}).get("p50"),
     "p99_us": latency.get("overall", {}).get("p99"),
     "report_p50_us": latency.get("per_verb", {}).get("report", {}).get("p50"),
+    "report_cold_p50_us": report_split.get("cold", {}).get("p50"),
+    "report_warm_p50_us": report_split.get("warm", {}).get("p50"),
     "cache_hit_rate": current.get("cache", {}).get("hit_rate"),
     "requests_per_second": current.get("requests_per_second"),
     "current": current,
@@ -424,6 +497,8 @@ out = {
 json.dump(out, open(sys.argv[2], "w"), indent=1)
 print(f"wrote {sys.argv[2]} (p50_us = {out['p50_us']}, p99_us = {out['p99_us']}, "
       f"report_p50_us = {out['report_p50_us']}, "
+      f"report_cold_p50_us = {out['report_cold_p50_us']}, "
+      f"report_warm_p50_us = {out['report_warm_p50_us']}, "
       f"cache_hit_rate = {out['cache_hit_rate']}, "
       f"requests_per_second = {out['requests_per_second']})")
 EOF

@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/catalog.cpp" "CMakeFiles/st_core.dir/src/corpus/catalog.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/corpus/catalog.cpp.o.d"
+  "/root/repo/src/corpus/serve.cpp" "CMakeFiles/st_core.dir/src/corpus/serve.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/corpus/serve.cpp.o.d"
+  "/root/repo/src/dfg/builder.cpp" "CMakeFiles/st_core.dir/src/dfg/builder.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/dfg/builder.cpp.o.d"
+  "/root/repo/src/dfg/coloring.cpp" "CMakeFiles/st_core.dir/src/dfg/coloring.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/dfg/coloring.cpp.o.d"
+  "/root/repo/src/dfg/concurrency.cpp" "CMakeFiles/st_core.dir/src/dfg/concurrency.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/dfg/concurrency.cpp.o.d"
+  "/root/repo/src/dfg/dfg.cpp" "CMakeFiles/st_core.dir/src/dfg/dfg.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/dfg/dfg.cpp.o.d"
+  "/root/repo/src/dfg/diff.cpp" "CMakeFiles/st_core.dir/src/dfg/diff.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/dfg/diff.cpp.o.d"
+  "/root/repo/src/dfg/edge_stats.cpp" "CMakeFiles/st_core.dir/src/dfg/edge_stats.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/dfg/edge_stats.cpp.o.d"
+  "/root/repo/src/dfg/export.cpp" "CMakeFiles/st_core.dir/src/dfg/export.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/dfg/export.cpp.o.d"
+  "/root/repo/src/dfg/layout.cpp" "CMakeFiles/st_core.dir/src/dfg/layout.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/dfg/layout.cpp.o.d"
+  "/root/repo/src/dfg/profile.cpp" "CMakeFiles/st_core.dir/src/dfg/profile.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/dfg/profile.cpp.o.d"
+  "/root/repo/src/dfg/render.cpp" "CMakeFiles/st_core.dir/src/dfg/render.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/dfg/render.cpp.o.d"
+  "/root/repo/src/dfg/render_svg.cpp" "CMakeFiles/st_core.dir/src/dfg/render_svg.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/dfg/render_svg.cpp.o.d"
+  "/root/repo/src/dfg/stats.cpp" "CMakeFiles/st_core.dir/src/dfg/stats.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/dfg/stats.cpp.o.d"
+  "/root/repo/src/dfg/validate.cpp" "CMakeFiles/st_core.dir/src/dfg/validate.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/dfg/validate.cpp.o.d"
+  "/root/repo/src/elog/format.cpp" "CMakeFiles/st_core.dir/src/elog/format.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/elog/format.cpp.o.d"
+  "/root/repo/src/elog/store.cpp" "CMakeFiles/st_core.dir/src/elog/store.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/elog/store.cpp.o.d"
+  "/root/repo/src/elog/v2_format.cpp" "CMakeFiles/st_core.dir/src/elog/v2_format.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/elog/v2_format.cpp.o.d"
+  "/root/repo/src/elog/v2_select.cpp" "CMakeFiles/st_core.dir/src/elog/v2_select.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/elog/v2_select.cpp.o.d"
+  "/root/repo/src/elog/v2_store.cpp" "CMakeFiles/st_core.dir/src/elog/v2_store.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/elog/v2_store.cpp.o.d"
+  "/root/repo/src/iosim/campaign.cpp" "CMakeFiles/st_core.dir/src/iosim/campaign.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/iosim/campaign.cpp.o.d"
+  "/root/repo/src/iosim/commands.cpp" "CMakeFiles/st_core.dir/src/iosim/commands.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/iosim/commands.cpp.o.d"
+  "/root/repo/src/iosim/engine.cpp" "CMakeFiles/st_core.dir/src/iosim/engine.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/iosim/engine.cpp.o.d"
+  "/root/repo/src/iosim/ior.cpp" "CMakeFiles/st_core.dir/src/iosim/ior.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/iosim/ior.cpp.o.d"
+  "/root/repo/src/iosim/vfs.cpp" "CMakeFiles/st_core.dir/src/iosim/vfs.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/iosim/vfs.cpp.o.d"
+  "/root/repo/src/model/activity_log.cpp" "CMakeFiles/st_core.dir/src/model/activity_log.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/model/activity_log.cpp.o.d"
+  "/root/repo/src/model/case_stats.cpp" "CMakeFiles/st_core.dir/src/model/case_stats.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/model/case_stats.cpp.o.d"
+  "/root/repo/src/model/event_log.cpp" "CMakeFiles/st_core.dir/src/model/event_log.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/model/event_log.cpp.o.d"
+  "/root/repo/src/model/from_strace.cpp" "CMakeFiles/st_core.dir/src/model/from_strace.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/model/from_strace.cpp.o.d"
+  "/root/repo/src/model/mapping.cpp" "CMakeFiles/st_core.dir/src/model/mapping.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/model/mapping.cpp.o.d"
+  "/root/repo/src/model/query.cpp" "CMakeFiles/st_core.dir/src/model/query.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/model/query.cpp.o.d"
+  "/root/repo/src/model/skew.cpp" "CMakeFiles/st_core.dir/src/model/skew.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/model/skew.cpp.o.d"
+  "/root/repo/src/model/variants.cpp" "CMakeFiles/st_core.dir/src/model/variants.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/model/variants.cpp.o.d"
+  "/root/repo/src/parallel/stage_queue.cpp" "CMakeFiles/st_core.dir/src/parallel/stage_queue.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/parallel/stage_queue.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "CMakeFiles/st_core.dir/src/parallel/thread_pool.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/parallel/thread_pool.cpp.o.d"
+  "/root/repo/src/pipeline/partial_codec.cpp" "CMakeFiles/st_core.dir/src/pipeline/partial_codec.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/pipeline/partial_codec.cpp.o.d"
+  "/root/repo/src/pipeline/shard.cpp" "CMakeFiles/st_core.dir/src/pipeline/shard.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/pipeline/shard.cpp.o.d"
+  "/root/repo/src/pipeline/sink.cpp" "CMakeFiles/st_core.dir/src/pipeline/sink.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/pipeline/sink.cpp.o.d"
+  "/root/repo/src/pipeline/stream.cpp" "CMakeFiles/st_core.dir/src/pipeline/stream.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/pipeline/stream.cpp.o.d"
+  "/root/repo/src/report/report.cpp" "CMakeFiles/st_core.dir/src/report/report.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/report/report.cpp.o.d"
+  "/root/repo/src/strace/filename.cpp" "CMakeFiles/st_core.dir/src/strace/filename.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/strace/filename.cpp.o.d"
+  "/root/repo/src/strace/parser.cpp" "CMakeFiles/st_core.dir/src/strace/parser.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/strace/parser.cpp.o.d"
+  "/root/repo/src/strace/reader.cpp" "CMakeFiles/st_core.dir/src/strace/reader.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/strace/reader.cpp.o.d"
+  "/root/repo/src/strace/reader_parallel.cpp" "CMakeFiles/st_core.dir/src/strace/reader_parallel.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/strace/reader_parallel.cpp.o.d"
+  "/root/repo/src/strace/scan.cpp" "CMakeFiles/st_core.dir/src/strace/scan.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/strace/scan.cpp.o.d"
+  "/root/repo/src/strace/scan_kernels.cpp" "CMakeFiles/st_core.dir/src/strace/scan_kernels.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/strace/scan_kernels.cpp.o.d"
+  "/root/repo/src/strace/trace_buffer.cpp" "CMakeFiles/st_core.dir/src/strace/trace_buffer.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/strace/trace_buffer.cpp.o.d"
+  "/root/repo/src/strace/writer.cpp" "CMakeFiles/st_core.dir/src/strace/writer.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/strace/writer.cpp.o.d"
+  "/root/repo/src/support/cli.cpp" "CMakeFiles/st_core.dir/src/support/cli.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/support/cli.cpp.o.d"
+  "/root/repo/src/support/cli_args.cpp" "CMakeFiles/st_core.dir/src/support/cli_args.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/support/cli_args.cpp.o.d"
+  "/root/repo/src/support/crc32.cpp" "CMakeFiles/st_core.dir/src/support/crc32.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/support/crc32.cpp.o.d"
+  "/root/repo/src/support/faultpoint.cpp" "CMakeFiles/st_core.dir/src/support/faultpoint.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/support/faultpoint.cpp.o.d"
+  "/root/repo/src/support/si.cpp" "CMakeFiles/st_core.dir/src/support/si.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/support/si.cpp.o.d"
+  "/root/repo/src/support/strings.cpp" "CMakeFiles/st_core.dir/src/support/strings.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/support/strings.cpp.o.d"
+  "/root/repo/src/support/timeparse.cpp" "CMakeFiles/st_core.dir/src/support/timeparse.cpp.o" "gcc" "CMakeFiles/st_core.dir/src/support/timeparse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for st_core.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_contention.dir/abl_contention.cpp.o"
+  "CMakeFiles/abl_contention.dir/abl_contention.cpp.o.d"
+  "abl_contention"
+  "abl_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_contention.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_page_cache.dir/abl_page_cache.cpp.o"
+  "CMakeFiles/abl_page_cache.dir/abl_page_cache.cpp.o.d"
+  "abl_page_cache"
+  "abl_page_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_page_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

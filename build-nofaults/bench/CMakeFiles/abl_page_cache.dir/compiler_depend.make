@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_page_cache.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_page_cache.
+# This may be replaced when dependencies are built.

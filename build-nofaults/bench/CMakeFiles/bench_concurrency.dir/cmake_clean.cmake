@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_concurrency.dir/bench_concurrency.cpp.o"
+  "CMakeFiles/bench_concurrency.dir/bench_concurrency.cpp.o.d"
+  "bench_concurrency"
+  "bench_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

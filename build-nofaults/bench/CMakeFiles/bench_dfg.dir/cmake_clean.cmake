@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dfg.dir/bench_dfg.cpp.o"
+  "CMakeFiles/bench_dfg.dir/bench_dfg.cpp.o.d"
+  "bench_dfg"
+  "bench_dfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

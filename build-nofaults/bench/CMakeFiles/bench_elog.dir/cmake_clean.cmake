@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_elog.dir/bench_elog.cpp.o"
+  "CMakeFiles/bench_elog.dir/bench_elog.cpp.o.d"
+  "bench_elog"
+  "bench_elog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_elog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parse.dir/bench_parse.cpp.o"
+  "CMakeFiles/bench_parse.dir/bench_parse.cpp.o.d"
+  "bench_parse"
+  "bench_parse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pipeline.dir/bench_pipeline.cpp.o"
+  "CMakeFiles/bench_pipeline.dir/bench_pipeline.cpp.o.d"
+  "bench_pipeline"
+  "bench_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

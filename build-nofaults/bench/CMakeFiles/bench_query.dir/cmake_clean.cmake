@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query.dir/bench_query.cpp.o"
+  "CMakeFiles/bench_query.dir/bench_query.cpp.o.d"
+  "bench_query"
+  "bench_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_render.dir/bench_render.cpp.o"
+  "CMakeFiles/bench_render.dir/bench_render.cpp.o.d"
+  "bench_render"
+  "bench_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shard.dir/bench_shard.cpp.o"
+  "CMakeFiles/bench_shard.dir/bench_shard.cpp.o.d"
+  "bench_shard"
+  "bench_shard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sim.dir/bench_sim.cpp.o"
+  "CMakeFiles/bench_sim.dir/bench_sim.cpp.o.d"
+  "bench_sim"
+  "bench_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

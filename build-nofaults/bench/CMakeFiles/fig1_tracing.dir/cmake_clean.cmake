@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_tracing.dir/fig1_tracing.cpp.o"
+  "CMakeFiles/fig1_tracing.dir/fig1_tracing.cpp.o.d"
+  "fig1_tracing"
+  "fig1_tracing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

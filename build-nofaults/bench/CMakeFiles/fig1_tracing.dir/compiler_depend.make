@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig1_tracing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1_tracing.
+# This may be replaced when dependencies are built.

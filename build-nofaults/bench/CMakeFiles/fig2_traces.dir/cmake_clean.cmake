@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_traces.dir/fig2_traces.cpp.o"
+  "CMakeFiles/fig2_traces.dir/fig2_traces.cpp.o.d"
+  "fig2_traces"
+  "fig2_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

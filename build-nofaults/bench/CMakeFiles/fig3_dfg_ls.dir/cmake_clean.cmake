@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_dfg_ls.dir/fig3_dfg_ls.cpp.o"
+  "CMakeFiles/fig3_dfg_ls.dir/fig3_dfg_ls.cpp.o.d"
+  "fig3_dfg_ls"
+  "fig3_dfg_ls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_dfg_ls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_dfg_ls.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_filtered_dfg.dir/fig4_filtered_dfg.cpp.o"
+  "CMakeFiles/fig4_filtered_dfg.dir/fig4_filtered_dfg.cpp.o.d"
+  "fig4_filtered_dfg"
+  "fig4_filtered_dfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_filtered_dfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_filtered_dfg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_timeline.dir/fig5_timeline.cpp.o"
+  "CMakeFiles/fig5_timeline.dir/fig5_timeline.cpp.o.d"
+  "fig5_timeline"
+  "fig5_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_workflow.dir/fig6_workflow.cpp.o"
+  "CMakeFiles/fig6_workflow.dir/fig6_workflow.cpp.o.d"
+  "fig6_workflow"
+  "fig6_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

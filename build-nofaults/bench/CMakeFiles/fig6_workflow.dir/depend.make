@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_workflow.
+# This may be replaced when dependencies are built.

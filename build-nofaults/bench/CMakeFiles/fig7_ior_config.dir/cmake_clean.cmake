@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_ior_config.dir/fig7_ior_config.cpp.o"
+  "CMakeFiles/fig7_ior_config.dir/fig7_ior_config.cpp.o.d"
+  "fig7_ior_config"
+  "fig7_ior_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_ior_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

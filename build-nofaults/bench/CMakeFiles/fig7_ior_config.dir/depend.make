@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_ior_config.
+# This may be replaced when dependencies are built.

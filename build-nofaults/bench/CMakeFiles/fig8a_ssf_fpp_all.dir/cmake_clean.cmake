@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_ssf_fpp_all.dir/fig8a_ssf_fpp_all.cpp.o"
+  "CMakeFiles/fig8a_ssf_fpp_all.dir/fig8a_ssf_fpp_all.cpp.o.d"
+  "fig8a_ssf_fpp_all"
+  "fig8a_ssf_fpp_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_ssf_fpp_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8a_ssf_fpp_all.
+# This may be replaced when dependencies are built.

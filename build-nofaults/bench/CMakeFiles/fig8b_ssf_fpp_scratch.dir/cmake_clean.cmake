@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_ssf_fpp_scratch.dir/fig8b_ssf_fpp_scratch.cpp.o"
+  "CMakeFiles/fig8b_ssf_fpp_scratch.dir/fig8b_ssf_fpp_scratch.cpp.o.d"
+  "fig8b_ssf_fpp_scratch"
+  "fig8b_ssf_fpp_scratch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_ssf_fpp_scratch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8b_ssf_fpp_scratch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_mpiio_partition.dir/fig9_mpiio_partition.cpp.o"
+  "CMakeFiles/fig9_mpiio_partition.dir/fig9_mpiio_partition.cpp.o.d"
+  "fig9_mpiio_partition"
+  "fig9_mpiio_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_mpiio_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_runner.dir/campaign_runner.cpp.o"
+  "CMakeFiles/campaign_runner.dir/campaign_runner.cpp.o.d"
+  "campaign_runner"
+  "campaign_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elog_tool.dir/elog_tool.cpp.o"
+  "CMakeFiles/elog_tool.dir/elog_tool.cpp.o.d"
+  "elog_tool"
+  "elog_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elog_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for elog_tool.
+# This may be replaced when dependencies are built.

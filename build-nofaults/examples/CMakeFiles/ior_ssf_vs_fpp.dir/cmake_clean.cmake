@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ior_ssf_vs_fpp.dir/ior_ssf_vs_fpp.cpp.o"
+  "CMakeFiles/ior_ssf_vs_fpp.dir/ior_ssf_vs_fpp.cpp.o.d"
+  "ior_ssf_vs_fpp"
+  "ior_ssf_vs_fpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ior_ssf_vs_fpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

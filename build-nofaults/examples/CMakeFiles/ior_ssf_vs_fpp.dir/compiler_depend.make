@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ior_ssf_vs_fpp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ior_ssf_vs_fpp.
+# This may be replaced when dependencies are built.

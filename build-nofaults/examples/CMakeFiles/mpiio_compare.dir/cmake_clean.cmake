@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpiio_compare.dir/mpiio_compare.cpp.o"
+  "CMakeFiles/mpiio_compare.dir/mpiio_compare.cpp.o.d"
+  "mpiio_compare"
+  "mpiio_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpiio_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

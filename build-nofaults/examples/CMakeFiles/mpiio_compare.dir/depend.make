@@ -1,0 +1,2 @@
+# Empty dependencies file for mpiio_compare.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_explorer.dir/trace_explorer.cpp.o"
+  "CMakeFiles/trace_explorer.dir/trace_explorer.cpp.o.d"
+  "trace_explorer"
+  "trace_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for trace_explorer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_activity_log.dir/test_activity_log.cpp.o"
+  "CMakeFiles/test_activity_log.dir/test_activity_log.cpp.o.d"
+  "test_activity_log"
+  "test_activity_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_activity_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_builder.dir/test_builder.cpp.o"
+  "CMakeFiles/test_builder.dir/test_builder.cpp.o.d"
+  "test_builder"
+  "test_builder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

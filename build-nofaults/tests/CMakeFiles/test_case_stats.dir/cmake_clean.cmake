@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_case_stats.dir/test_case_stats.cpp.o"
+  "CMakeFiles/test_case_stats.dir/test_case_stats.cpp.o.d"
+  "test_case_stats"
+  "test_case_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_case_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

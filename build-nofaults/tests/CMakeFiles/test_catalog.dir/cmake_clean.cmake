@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_catalog.dir/test_catalog.cpp.o"
+  "CMakeFiles/test_catalog.dir/test_catalog.cpp.o.d"
+  "test_catalog"
+  "test_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

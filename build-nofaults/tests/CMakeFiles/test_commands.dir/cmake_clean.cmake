@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_commands.dir/test_commands.cpp.o"
+  "CMakeFiles/test_commands.dir/test_commands.cpp.o.d"
+  "test_commands"
+  "test_commands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_commands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

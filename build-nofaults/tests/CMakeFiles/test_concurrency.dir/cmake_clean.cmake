@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_concurrency.dir/test_concurrency.cpp.o"
+  "CMakeFiles/test_concurrency.dir/test_concurrency.cpp.o.d"
+  "test_concurrency"
+  "test_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

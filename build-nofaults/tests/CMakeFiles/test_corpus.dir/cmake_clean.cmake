@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corpus.dir/test_corpus.cpp.o"
+  "CMakeFiles/test_corpus.dir/test_corpus.cpp.o.d"
+  "test_corpus"
+  "test_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

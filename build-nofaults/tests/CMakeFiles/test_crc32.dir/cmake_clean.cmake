@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crc32.dir/test_crc32.cpp.o"
+  "CMakeFiles/test_crc32.dir/test_crc32.cpp.o.d"
+  "test_crc32"
+  "test_crc32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crc32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

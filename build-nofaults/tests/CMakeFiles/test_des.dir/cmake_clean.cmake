@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_des.dir/test_des.cpp.o"
+  "CMakeFiles/test_des.dir/test_des.cpp.o.d"
+  "test_des"
+  "test_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dfg.dir/test_dfg.cpp.o"
+  "CMakeFiles/test_dfg.dir/test_dfg.cpp.o.d"
+  "test_dfg"
+  "test_dfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_diff_coloring.dir/test_diff_coloring.cpp.o"
+  "CMakeFiles/test_diff_coloring.dir/test_diff_coloring.cpp.o.d"
+  "test_diff_coloring"
+  "test_diff_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_diff_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edge_stats.dir/test_edge_stats.cpp.o"
+  "CMakeFiles/test_edge_stats.dir/test_edge_stats.cpp.o.d"
+  "test_edge_stats"
+  "test_edge_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edge_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

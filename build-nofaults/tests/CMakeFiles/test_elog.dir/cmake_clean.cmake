@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elog.dir/test_elog.cpp.o"
+  "CMakeFiles/test_elog.dir/test_elog.cpp.o.d"
+  "test_elog"
+  "test_elog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

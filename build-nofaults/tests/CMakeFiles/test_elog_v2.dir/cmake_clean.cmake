@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elog_v2.dir/test_elog_v2.cpp.o"
+  "CMakeFiles/test_elog_v2.dir/test_elog_v2.cpp.o.d"
+  "test_elog_v2"
+  "test_elog_v2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elog_v2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_model.dir/test_event_model.cpp.o"
+  "CMakeFiles/test_event_model.dir/test_event_model.cpp.o.d"
+  "test_event_model"
+  "test_event_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_export.dir/test_export.cpp.o"
+  "CMakeFiles/test_export.dir/test_export.cpp.o.d"
+  "test_export"
+  "test_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

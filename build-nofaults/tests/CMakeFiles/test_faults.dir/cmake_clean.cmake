@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_faults.dir/test_faults.cpp.o"
+  "CMakeFiles/test_faults.dir/test_faults.cpp.o.d"
+  "test_faults"
+  "test_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

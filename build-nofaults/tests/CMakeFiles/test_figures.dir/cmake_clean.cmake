@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_figures.dir/test_figures.cpp.o"
+  "CMakeFiles/test_figures.dir/test_figures.cpp.o.d"
+  "test_figures"
+  "test_figures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_figures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

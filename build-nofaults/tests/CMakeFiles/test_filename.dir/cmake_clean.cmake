@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_filename.dir/test_filename.cpp.o"
+  "CMakeFiles/test_filename.dir/test_filename.cpp.o.d"
+  "test_filename"
+  "test_filename.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_filename.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

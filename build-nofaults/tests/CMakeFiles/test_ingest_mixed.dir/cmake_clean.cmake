@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ingest_mixed.dir/test_ingest_mixed.cpp.o"
+  "CMakeFiles/test_ingest_mixed.dir/test_ingest_mixed.cpp.o.d"
+  "test_ingest_mixed"
+  "test_ingest_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ingest_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ingest_mixed.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ior.dir/test_ior.cpp.o"
+  "CMakeFiles/test_ior.dir/test_ior.cpp.o.d"
+  "test_ior"
+  "test_ior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layout_svg.dir/test_layout_svg.cpp.o"
+  "CMakeFiles/test_layout_svg.dir/test_layout_svg.cpp.o.d"
+  "test_layout_svg"
+  "test_layout_svg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layout_svg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapping.dir/test_mapping.cpp.o"
+  "CMakeFiles/test_mapping.dir/test_mapping.cpp.o.d"
+  "test_mapping"
+  "test_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_reader.dir/test_parallel_reader.cpp.o"
+  "CMakeFiles/test_parallel_reader.dir/test_parallel_reader.cpp.o.d"
+  "test_parallel_reader"
+  "test_parallel_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parser.dir/test_parser.cpp.o"
+  "CMakeFiles/test_parser.dir/test_parser.cpp.o.d"
+  "test_parser"
+  "test_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partial_codec.dir/test_partial_codec.cpp.o"
+  "CMakeFiles/test_partial_codec.dir/test_partial_codec.cpp.o.d"
+  "test_partial_codec"
+  "test_partial_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partial_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_sinks.dir/test_pipeline_sinks.cpp.o"
+  "CMakeFiles/test_pipeline_sinks.dir/test_pipeline_sinks.cpp.o.d"
+  "test_pipeline_sinks"
+  "test_pipeline_sinks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_sinks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_stream.dir/test_pipeline_stream.cpp.o"
+  "CMakeFiles/test_pipeline_stream.dir/test_pipeline_stream.cpp.o.d"
+  "test_pipeline_stream"
+  "test_pipeline_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

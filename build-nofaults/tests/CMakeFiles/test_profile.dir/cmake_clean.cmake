@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profile.dir/test_profile.cpp.o"
+  "CMakeFiles/test_profile.dir/test_profile.cpp.o.d"
+  "test_profile"
+  "test_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

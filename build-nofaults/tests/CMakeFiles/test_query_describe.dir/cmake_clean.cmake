@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_query_describe.dir/test_query_describe.cpp.o"
+  "CMakeFiles/test_query_describe.dir/test_query_describe.cpp.o.d"
+  "test_query_describe"
+  "test_query_describe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_query_describe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_query_parse.dir/test_query_parse.cpp.o"
+  "CMakeFiles/test_query_parse.dir/test_query_parse.cpp.o.d"
+  "test_query_parse"
+  "test_query_parse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_query_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reader_writer.dir/test_reader_writer.cpp.o"
+  "CMakeFiles/test_reader_writer.dir/test_reader_writer.cpp.o.d"
+  "test_reader_writer"
+  "test_reader_writer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reader_writer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_reader_writer.
+# This may be replaced when dependencies are built.

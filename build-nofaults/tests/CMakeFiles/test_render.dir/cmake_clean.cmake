@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_render.dir/test_render.cpp.o"
+  "CMakeFiles/test_render.dir/test_render.cpp.o.d"
+  "test_render"
+  "test_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report.dir/test_report.cpp.o"
+  "CMakeFiles/test_report.dir/test_report.cpp.o.d"
+  "test_report"
+  "test_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scan.dir/test_scan.cpp.o"
+  "CMakeFiles/test_scan.dir/test_scan.cpp.o.d"
+  "test_scan"
+  "test_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

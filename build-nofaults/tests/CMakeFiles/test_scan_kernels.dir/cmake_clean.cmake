@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scan_kernels.dir/test_scan_kernels.cpp.o"
+  "CMakeFiles/test_scan_kernels.dir/test_scan_kernels.cpp.o.d"
+  "test_scan_kernels"
+  "test_scan_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scan_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

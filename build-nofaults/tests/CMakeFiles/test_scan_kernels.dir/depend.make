@@ -1,0 +1,2 @@
+# Empty dependencies file for test_scan_kernels.
+# This may be replaced when dependencies are built.

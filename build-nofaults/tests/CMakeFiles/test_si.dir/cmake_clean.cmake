@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_si.dir/test_si.cpp.o"
+  "CMakeFiles/test_si.dir/test_si.cpp.o.d"
+  "test_si"
+  "test_si.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_si.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skew.dir/test_skew.cpp.o"
+  "CMakeFiles/test_skew.dir/test_skew.cpp.o.d"
+  "test_skew"
+  "test_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smt.dir/test_smt.cpp.o"
+  "CMakeFiles/test_smt.dir/test_smt.cpp.o.d"
+  "test_smt"
+  "test_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stage_queue.dir/test_stage_queue.cpp.o"
+  "CMakeFiles/test_stage_queue.dir/test_stage_queue.cpp.o.d"
+  "test_stage_queue"
+  "test_stage_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stage_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats.dir/test_stats.cpp.o"
+  "CMakeFiles/test_stats.dir/test_stats.cpp.o.d"
+  "test_stats"
+  "test_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

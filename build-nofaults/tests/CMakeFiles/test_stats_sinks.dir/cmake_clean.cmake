@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_sinks.dir/test_stats_sinks.cpp.o"
+  "CMakeFiles/test_stats_sinks.dir/test_stats_sinks.cpp.o.d"
+  "test_stats_sinks"
+  "test_stats_sinks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_sinks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

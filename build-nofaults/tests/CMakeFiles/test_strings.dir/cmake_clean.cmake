@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strings.dir/test_strings.cpp.o"
+  "CMakeFiles/test_strings.dir/test_strings.cpp.o.d"
+  "test_strings"
+  "test_strings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timeparse.dir/test_timeparse.cpp.o"
+  "CMakeFiles/test_timeparse.dir/test_timeparse.cpp.o.d"
+  "test_timeparse"
+  "test_timeparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timeparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

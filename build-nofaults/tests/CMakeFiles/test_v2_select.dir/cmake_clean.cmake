@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_v2_select.dir/test_v2_select.cpp.o"
+  "CMakeFiles/test_v2_select.dir/test_v2_select.cpp.o.d"
+  "test_v2_select"
+  "test_v2_select.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_v2_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

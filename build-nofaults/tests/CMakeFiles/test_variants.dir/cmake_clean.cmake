@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_variants.dir/test_variants.cpp.o"
+  "CMakeFiles/test_variants.dir/test_variants.cpp.o.d"
+  "test_variants"
+  "test_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

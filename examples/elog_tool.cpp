@@ -8,6 +8,7 @@
 //   ./elog_tool import out.elog a_host1_9042.st... --stream-report r.html
 //                       # same single pass also folds the HTML report
 //   ./elog_tool convert out.elog in.elog           # v1 <-> v2 (lossless)
+//   ./elog_tool convert out.elog in.elog --reindex # old v2 gains indexes
 //   ./elog_tool stat run.elog [source.st...]       # format/section stats
 //   ./elog_tool fold-shard out.partial a_h1_1.st.. # one shard's partials
 //   ./elog_tool merge-partials r.html s0.partial.. # reduce + render
@@ -82,13 +83,17 @@ void write_bytes(const std::string& path, std::string_view bytes) {
   }
 }
 
-void write_log(const std::string& path, const st::model::EventLog& log, bool v1) {
+void write_log(const std::string& path, const st::model::EventLog& log, bool v1,
+               bool write_index = true) {
   if (v1) {
     st::elog::write_event_log_file(path, log);
   } else {
-    st::elog::write_event_log_v2_file(path, log);
+    st::elog::write_event_log_v2_file(path, log, st::elog::ElogV2WriterOptions{write_index});
   }
 }
+
+/// v2 index sections are written unless --no-index asks for a bare file.
+bool write_index_flag(const st::CliParser& cli) { return !cli.get_bool("no-index"); }
 
 /// First 8 bytes of `path` (the container magic of either version).
 std::string sniff_magic(const std::string& path) {
@@ -143,6 +148,21 @@ void stat_v2(const std::string& path, const st::CliParser& cli,
     }
     std::cout << "\n";
   }
+  if (mapped->has_index()) {
+    // index_view() CRC- and structurally validates whatever is present,
+    // so a corrupt index fails stat the same way queries would.
+    const auto iv = mapped->index_view();
+    std::vector<std::string> parts;
+    if (iv.zones != nullptr) parts.emplace_back("zone maps");
+    if (iv.call_ends != nullptr) parts.emplace_back("call sets");
+    if (iv.fp_ends != nullptr) parts.emplace_back("fp sets");
+    if (iv.posting_table != nullptr) {
+      parts.emplace_back("posting list (" + std::to_string(iv.posting_keys) + " keys)");
+    }
+    std::cout << "index: " << st::join(parts, ", ") << "\n";
+  } else {
+    std::cout << "index: none (queries fall back to scan)\n";
+  }
   if (!sources.empty()) {
     std::uint64_t source_bytes = 0;
     for (const auto& s : sources) source_bytes += file_bytes(s);
@@ -158,7 +178,7 @@ void stat_v2(const std::string& path, const st::CliParser& cli,
   }
   if (cli.get_bool("verify")) {
     mapped->verify();
-    std::cout << "verify: ok (all section crcs + padding)\n";
+    std::cout << "verify: ok (all section crcs + index invariants + padding)\n";
   }
 }
 
@@ -193,6 +213,14 @@ int main(int argc, char** argv) {
       /*takes_path=*/true);
   cliargs::add_format_flags(cli);
   cli.add_flag("verify", "stat: run the full per-section crc pass", std::nullopt, true);
+  cli.add_flag("no-index",
+               "write v2 without the advisory index sections (zone maps, id sets, "
+               "posting list); readers fall back to the column scan",
+               std::nullopt, true);
+  cli.add_flag("reindex",
+               "convert: (re)build the index sections — the v2 default, spelled out; "
+               "rejects --v1 and --no-index",
+               std::nullopt, true);
   cliargs::add_shards_flag(cli, "report-sharded: number of fold-shard worker processes", "2");
   cliargs::add_keep_going_flag(cli, "unreadable trace files / CRC-failing v2 cases");
   cli.add_flag("shard-index",
@@ -221,7 +249,7 @@ int main(int argc, char** argv) {
       for (std::size_t i = 2; i < args.size(); ++i) {
         merged = model::EventLog::merge(merged, read_elog(args[i], cli));
       }
-      write_log(args[1], merged, cliargs::write_v1(cli));
+      write_log(args[1], merged, cliargs::write_v1(cli), write_index_flag(cli));
       std::cout << "wrote " << merged.case_count() << " cases to " << args[1] << "\n";
     } else if (command == "filter") {
       if (args.size() != 3) throw ParseError("filter takes an output and one input");
@@ -234,7 +262,7 @@ int main(int argc, char** argv) {
       }
       ThreadPool pool(cliargs::thread_count(cli));
       const auto filtered = query.apply(read_elog(args[2], cli), pool);
-      write_log(args[1], filtered, cliargs::write_v1(cli));
+      write_log(args[1], filtered, cliargs::write_v1(cli), write_index_flag(cli));
       std::cout << "query [" << query.describe() << "] kept " << filtered.total_events()
                 << " events; wrote " << args[1] << "\n";
     } else if (command == "import") {
@@ -267,7 +295,7 @@ int main(int argc, char** argv) {
         }
         elog::write_event_log_file(args[1], log);
       } else {
-        elog::ElogV2Writer writer(args[1]);
+        elog::ElogV2Writer writer(args[1], elog::ElogV2WriterOptions{write_index_flag(cli)});
         elog::ElogV2WriterSink sink(writer);
         if (cli.has("stream-report")) {
           // One streamed pass, three artifact families: the report's
@@ -292,10 +320,16 @@ int main(int argc, char** argv) {
                 << " events) into " << args[1] << "\n";
     } else if (command == "convert") {
       // Lossless re-encode between container versions (the reader
-      // dispatches on magic, so either direction just works).
+      // dispatches on magic, so either direction just works). A v2
+      // write always rebuilds the index sections, so converting an
+      // index-free (or pre-index) v2 file upgrades it; --reindex
+      // spells that intent and rejects contradicting flags.
       if (args.size() != 3) throw ParseError("convert takes an output and one input");
+      if (cli.get_bool("reindex") && (cliargs::write_v1(cli) || cli.get_bool("no-index"))) {
+        throw ParseError("--reindex writes indexed v2; drop --v1/--no-index");
+      }
       const auto log = read_elog(args[2], cli);
-      write_log(args[1], log, cliargs::write_v1(cli));
+      write_log(args[1], log, cliargs::write_v1(cli), write_index_flag(cli));
       std::cout << "converted " << args[2] << " -> " << args[1] << " ("
                 << (cliargs::write_v1(cli) ? "v1" : "v2") << ", " << log.case_count() << " cases)\n";
     } else if (command == "stat") {

@@ -35,6 +35,7 @@
 #include "dfg/render.hpp"
 #include "dfg/render_svg.hpp"
 #include "elog/store.hpp"
+#include "elog/v2_select.hpp"
 #include "iosim/commands.hpp"
 #include "model/case_stats.hpp"
 #include "model/from_strace.hpp"
@@ -157,6 +158,7 @@ int main(int argc, char** argv) {
     const auto query = query_from_flags(cli);
     const bool restricted = cli.has("filter") || cli.has("query");
     model::EventLog log;
+    std::vector<elog::IndexedSegment> segments;
     std::optional<dfg::Dfg> streamed_graph;
     std::optional<dfg::IoStatistics::Partial> streamed_io;
     if (cli.positional().empty()) {
@@ -197,15 +199,26 @@ int main(int argc, char** argv) {
       for (const auto& w : log.warnings()) std::cerr << "warning: " << w << "\n";
       for (const auto& p : elogs) {
         try {
-          log = model::EventLog::merge(
-              log, elog::read_event_log_file(p, elog::ElogReadOptions{cliargs::run_policy(cli)}));
+          auto part =
+              elog::read_event_log_file_indexed(p, elog::ElogReadOptions{cliargs::run_policy(cli)});
+          if (part.mapped) {
+            // Cleanly-read v2 container: remember the slice so --query
+            // runs through the indexed planner (byte-identical result).
+            segments.push_back(elog::IndexedSegment{log.case_count(), part.log.case_count(),
+                                                    std::move(part.mapped)});
+          }
+          log = model::EventLog::merge(log, std::move(part.log));
         } catch (const IoError& e) {
           if (!cli.get_bool("keep-going")) throw;
           std::cerr << "warning: " << p << ": skipped: " << e.what() << "\n";
         }
       }
     }
-    if (restricted) log = query.apply(log);
+    if (restricted) {
+      log = !segments.empty() && elog::query_index_enabled()
+                ? elog::apply_query_indexed(query, log, segments)
+                : query.apply(log);
+    }
 
     // -- analyze -----------------------------------------------------
     const auto g = streamed_graph ? std::move(*streamed_graph) : dfg::build_serial(log, f);

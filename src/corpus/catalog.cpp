@@ -64,9 +64,17 @@ void Catalog::load(const std::vector<std::string>& inputs, ThreadPool& pool) {
   for (const auto& w : log.warnings()) load_warnings_.push_back(w);
   for (const auto& p : elogs) {
     try {
-      auto part = elog::read_event_log_file(p, elog::ElogReadOptions{opts_.policy});
-      for (const auto& w : part.warnings()) load_warnings_.push_back(p + ": " + w);
-      log = model::EventLog::merge(log, std::move(part));
+      auto part = elog::read_event_log_file_indexed(p, elog::ElogReadOptions{opts_.policy});
+      for (const auto& w : part.log.warnings()) load_warnings_.push_back(p + ": " + w);
+      if (part.mapped) {
+        // A cleanly-read v2 container: its cases land contiguously at
+        // the current tail of the merged log, so record the slice for
+        // the indexed query planner.
+        segments_.push_back(elog::IndexedSegment{log.case_count(),
+                                                 part.log.case_count(),
+                                                 std::move(part.mapped)});
+      }
+      log = model::EventLog::merge(log, std::move(part.log));
     } catch (const IoError& e) {
       if (!opts_.policy.keep_going) throw;
       load_warnings_.push_back(p + ": skipped: " + e.what());
@@ -166,6 +174,13 @@ std::shared_ptr<const void> Catalog::memoized(const std::string& key,
 
 std::shared_ptr<const void> Catalog::compute_filtered(const model::Query& q) {
   if (!base_) throw LogicError("Catalog: load() the corpus before querying it");
+  if (!segments_.empty() && elog::query_index_enabled()) {
+    // Byte-identical to q.apply(*base_) by the v2_select contract (the
+    // equivalence tests and the CI serve cmp hold it there), so the
+    // cache key and every derived artifact are unchanged.
+    return std::make_shared<const model::EventLog>(
+        elog::apply_query_indexed(q, *base_, segments_));
+  }
   return std::make_shared<const model::EventLog>(q.apply(*base_));
 }
 

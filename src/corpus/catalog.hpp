@@ -41,6 +41,7 @@
 #include "dfg/dfg.hpp"
 #include "dfg/layout.hpp"
 #include "dfg/stats.hpp"
+#include "elog/v2_select.hpp"
 #include "model/activity_log.hpp"
 #include "model/case_stats.hpp"
 #include "model/event_log.hpp"
@@ -104,8 +105,11 @@ class Catalog {
   // -- memoized derived artifacts ------------------------------------
   // All single-flight, LRU-cached under the canonical describe() key.
 
-  /// The query-filtered view of the corpus (serial Query::apply —
-  /// byte-identical to the offline path).
+  /// The query-filtered view of the corpus. Cases backed by cleanly-
+  /// loaded v2 containers are selected through the indexed planner
+  /// (elog/v2_select.hpp) — byte-identical to Query::apply by contract,
+  /// so cache keys, wire bytes and the offline path are unchanged;
+  /// ST_QUERY_INDEX=off forces the materialized scan for A/B cmp.
   [[nodiscard]] std::shared_ptr<const model::EventLog> filtered(const model::Query& q);
   /// DFG of the filtered view under the catalog mapping.
   [[nodiscard]] std::shared_ptr<const dfg::Dfg> graph(const model::Query& q);
@@ -152,6 +156,9 @@ class Catalog {
   CatalogOptions opts_;
   model::Mapping mapping_;
   std::shared_ptr<const model::EventLog> base_;
+  /// v2-backed slices of base_ (sorted, non-overlapping), recorded by
+  /// load() for the indexed query path. Empty = always scan.
+  std::vector<elog::IndexedSegment> segments_;
   std::vector<std::string> load_warnings_;
 
   struct Cache;                   // mutex + LRU list + map (catalog.cpp)

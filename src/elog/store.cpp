@@ -244,17 +244,26 @@ model::EventLog read_event_log_file(const std::string& path) {
 }
 
 model::EventLog read_event_log_file(const std::string& path, const ElogReadOptions& opts) {
+  return read_event_log_file_indexed(path, opts).log;
+}
+
+LoadedElog read_event_log_file_indexed(const std::string& path, const ElogReadOptions& opts) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw IoError("cannot open elog file: " + path);
   std::string magic(kMagicV2.size(), '\0');
   in.read(magic.data(), static_cast<std::streamsize>(magic.size()));
   if (static_cast<std::size_t>(in.gcount()) == kMagicV2.size() && magic == kMagicV2) {
     in.close();
-    return read_event_log_v2(open_v2(path), V2ReadOptions{opts.keep_going});
+    auto mapped = open_v2(path);
+    model::EventLog log = read_event_log_v2(mapped, V2ReadOptions{opts.keep_going});
+    // Quarantines break the 1:1 case correspondence the planner needs;
+    // such a log (and any v1 log) is served by the materialized path.
+    const bool clean = log.warnings().empty() && log.case_count() == mapped->case_count();
+    return {std::move(log), clean ? std::move(mapped) : nullptr};
   }
   in.clear();
   in.seekg(0);
-  return read_event_log(in);
+  return {read_event_log(in), nullptr};
 }
 
 ElogAppender::ElogAppender(const std::string& path)

@@ -10,6 +10,7 @@
 
 #include <fstream>
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <string>
 
@@ -17,6 +18,8 @@
 #include "support/run_policy.hpp"
 
 namespace st::elog {
+
+class MappedElog;
 
 /// Serializes a whole event log.
 void write_event_log(std::ostream& out, const model::EventLog& log);
@@ -40,6 +43,20 @@ struct ElogReadOptions : RunPolicy {};
 /// Graceful-degradation variant of read_event_log_file.
 [[nodiscard]] model::EventLog read_event_log_file(const std::string& path,
                                                   const ElogReadOptions& opts);
+
+/// read_event_log_file plus the mapped container handle when (and only
+/// when) the file is a CLEANLY-read v2 corpus: no quarantined cases, so
+/// the log's case numbering lines up 1:1 with the container's and the
+/// indexed query planner (elog/v2_select.hpp) may evaluate predicates
+/// directly on the mapped columns. v1 files, and v2 reads that
+/// quarantined anything under keep_going, come back with mapped ==
+/// nullptr — queries over them take the materialized path.
+struct LoadedElog {
+  model::EventLog log;
+  std::shared_ptr<MappedElog> mapped;
+};
+[[nodiscard]] LoadedElog read_event_log_file_indexed(const std::string& path,
+                                                     const ElogReadOptions& opts = {});
 
 /// Incremental writer: cases are appended one at a time (e.g. as trace
 /// files finish parsing) without holding the whole log in memory. The

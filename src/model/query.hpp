@@ -129,6 +129,24 @@ class Query {
   /// when their canonical forms coincide.
   [[nodiscard]] bool operator==(const Query& other) const;
 
+  // -- read access for the indexed planner (elog/v2_select.hpp) --------
+  // The planner compiles these against a file's string dictionary; the
+  // semantics stay defined by matches()/matches_case() above, which the
+  // equivalence tests hold the indexed path to byte-for-byte.
+
+  /// Conjunctive path substrings (sorted + deduplicated).
+  [[nodiscard]] const std::vector<std::string>& fp_substrings() const { return fp_substrings_; }
+  /// The expanded call accept-set (sorted; empty = no call restriction).
+  [[nodiscard]] const std::vector<std::string>& compiled_calls() const { return compiled_calls_; }
+  [[nodiscard]] Micros from() const { return from_; }
+  [[nodiscard]] Micros to() const { return to_; }
+  [[nodiscard]] bool has_window() const {
+    return from_ != std::numeric_limits<Micros>::min() ||
+           to_ != std::numeric_limits<Micros>::max();
+  }
+  [[nodiscard]] const std::optional<std::set<std::string>>& cid_set() const { return cids_; }
+  [[nodiscard]] const std::optional<std::set<std::string>>& host_set() const { return hosts_; }
+
  private:
   std::vector<std::string> fp_substrings_;   ///< sorted + deduplicated
   std::vector<std::string> call_families_;   ///< sorted + deduplicated
